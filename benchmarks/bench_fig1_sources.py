@@ -1,0 +1,100 @@
+"""Figure 1: the table of ad hoc data sources.
+
+The paper's Figure 1 catalogues the diversity PADS must handle: ASCII
+fixed-column (CLF), ASCII variable-width (Sirius), fixed-width binary
+(call detail), Cobol (Altair billing), and data-dependent binary
+(netflow).  This bench parses a synthetic instance of each source class
+through its description — same parser, five very different physical
+layouts — and prints a Figure 1-style summary table.
+"""
+
+import random
+
+import pytest
+
+from repro import gallery
+from repro.tools.cobol import translate
+from repro.tools.datagen import call_detail_workload, clf_workload, sirius_workload
+
+N = 2000
+
+
+@pytest.fixture(scope="module")
+def sources(rng_seed=20050612):
+    rng = random.Random(rng_seed)
+    clf = gallery.load_clf()
+    sirius = gallery.load_sirius()
+    call = gallery.load_call_detail()
+    netflow = gallery.load_netflow()
+    import importlib.resources as res
+    billing = translate(
+        (res.files("repro.gallery") / "billing.cpy").read_text(),
+        "billing.cpy")
+    billing_desc = billing.compile()
+
+    return {
+        "CLF web logs": (
+            clf, "entry_t", clf_workload(N, rng),
+            "fixed-column ASCII records", "race conditions on log entry"),
+        "Provisioning (Sirius)": (
+            sirius, "entry_t", sirius_workload(N, rng).split(b"\n", 1)[1],
+            "variable-width ASCII records", "unexpected values"),
+        "Call detail": (
+            call, "call_t", call_detail_workload(N, rng),
+            "fixed-width binary records", "undocumented data"),
+        "Billing (Altair)": (
+            billing_desc, billing.record_type,
+            b"".join(billing_desc.write(
+                billing_desc.generate(billing.record_type, rng),
+                billing.record_type) for _ in range(N)),
+            "Cobol (EBCDIC/packed decimal)", "corrupted data feeds"),
+        "Netflow": (
+            netflow, None,
+            b"".join(netflow.write(netflow.generate("nf_packet_t", rng),
+                                   "nf_packet_t") for _ in range(N // 100)),
+            "data-dependent binary records", "missed packets"),
+    }
+
+
+@pytest.mark.parametrize("source_name", [
+    "CLF web logs", "Provisioning (Sirius)", "Call detail",
+    "Billing (Altair)", "Netflow"])
+@pytest.mark.benchmark(group="fig1-sources")
+def test_parse_source_class(benchmark, sources, source_name):
+    desc, record_type, data, representation, _err = sources[source_name]
+
+    def run():
+        if record_type is None:
+            rep, pd = desc.parse(data)
+            return len(rep), pd.nerr
+        total = bad = 0
+        for _, pd in desc.records(data, record_type):
+            total += 1
+            bad += 1 if pd.nerr else 0
+        return total, bad
+
+    total, bad = benchmark(run)
+    assert total > 0
+
+
+def test_print_figure1_table(sources, capsys):
+    """Regenerate the Figure 1 table shape (not a timing benchmark)."""
+    rows = []
+    for name, (desc, record_type, data, representation, errors) in sources.items():
+        if record_type is None:
+            rep, pd = desc.parse(data)
+            total, bad = len(rep), (1 if pd.nerr else 0)
+        else:
+            results = [(r, pd) for r, pd in desc.records(data, record_type)]
+            total = len(results)
+            bad = sum(1 for _, pd in results if pd.nerr)
+        rows.append((name, representation, total, len(data), bad, errors))
+
+    with capsys.disabled():
+        print()
+        print(f"{'Name & Use':24} {'Representation':32} "
+              f"{'Records':>8} {'Bytes':>9} {'Bad':>4}  Common errors")
+        print("-" * 110)
+        for name, representation, total, size, bad, errors in rows:
+            print(f"{name:24} {representation:32} {total:>8} {size:>9} "
+                  f"{bad:>4}  {errors}")

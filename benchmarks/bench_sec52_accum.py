@@ -1,0 +1,57 @@
+"""Section 5.2: the accumulator report for the CLF ``length`` field.
+
+The paper's run over a web-traffic dataset reported 53,544 good values,
+3,824 bad (6.666% — web servers storing '-' instead of a byte count), a
+heavy-headed top-10 distribution, and 99.552% of values tracked.  This
+bench profiles a synthetic CLF workload with the same '-' rate, asserts
+the same *shape* (bad fraction, tracked fraction, error kind), prints the
+report in the paper's exact layout, and benchmarks accumulator
+throughput.
+"""
+
+import random
+
+import pytest
+
+from repro import gallery
+from repro.tools.accum import accumulate_records
+from repro.tools.datagen import clf_workload
+
+N = 20000
+
+
+@pytest.fixture(scope="module")
+def clf_data():
+    return clf_workload(N, random.Random(42), dash_rate=0.06666)
+
+
+@pytest.mark.benchmark(group="sec52-accum")
+def test_accumulator_program(benchmark, clf_gen, clf_data):
+    acc, _, count = benchmark(accumulate_records, clf_gen, clf_data,
+                              "entry_t")
+    assert count == N
+    length = acc.field("length").self_acc
+    # The paper's discovery, in shape: ~6.666% bad, all of them INVALID_INT
+    # (the '-' character where a number belongs).
+    assert 5.5 < length.pcnt_bad() < 8.0
+    assert set(length.err_codes) == {"INVALID_INT"}
+
+
+def test_print_length_report(clf_interp, clf_data, capsys):
+    acc, _, _ = accumulate_records(clf_interp, clf_data, "entry_t")
+    length = acc.field("length")
+    report = length.report()
+    # Layout pinned to the paper's report.
+    lines = report.splitlines()
+    assert lines[0].startswith("<top>.length : uint32")
+    assert "pcnt-bad:" in lines[2]
+    assert any("SUMMING count:" in l for l in lines)
+    tracked = length.self_acc.tracked_count / max(1, length.self_acc.good)
+    # The paper reports 99.552% tracked: real web traffic is extremely
+    # heavy-headed.  Our synthetic lengths are 40% head / 60% uniform tail,
+    # so the 1000-value tracker covers far less — assert the mechanism
+    # (head values tracked) rather than the paper's traffic shape.
+    assert tracked > 0.3
+    with capsys.disabled():
+        print()
+        print(report)

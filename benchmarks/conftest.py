@@ -1,0 +1,64 @@
+"""Shared benchmark fixtures: compiled descriptions and synthetic
+workloads calibrated to the paper's file statistics.
+
+The paper's benchmark file is 2.2GB / 11.8M records; we default to a
+20k-record file (~2MB) so the full harness runs in minutes.  Set
+``PADS_BENCH_RECORDS`` to scale up.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro import gallery
+from repro.codegen import compile_generated
+from repro.tools.datagen import clf_workload, sirius_workload
+
+N_RECORDS = int(os.environ.get("PADS_BENCH_RECORDS", "20000"))
+SELECT_STATE = "LOC_CRTE"
+
+
+@pytest.fixture(scope="session")
+def sirius_interp():
+    return gallery.load_sirius()
+
+
+@pytest.fixture(scope="session")
+def sirius_gen():
+    return compile_generated(gallery.SIRIUS)
+
+
+@pytest.fixture(scope="session")
+def clf_interp():
+    return gallery.load_clf()
+
+
+@pytest.fixture(scope="session")
+def clf_gen():
+    return compile_generated(gallery.CLF)
+
+
+@pytest.fixture(scope="session")
+def sirius_file() -> bytes:
+    """A synthetic Sirius summary: the paper's error mix, N_RECORDS orders."""
+    return sirius_workload(N_RECORDS, random.Random(20050612))
+
+
+@pytest.fixture(scope="session")
+def sirius_body(sirius_file) -> bytes:
+    """The order records without the summary-header line."""
+    return sirius_file.split(b"\n", 1)[1]
+
+
+@pytest.fixture(scope="session")
+def sirius_clean(sirius_interp, sirius_body) -> bytes:
+    """Vetted data: what the paper pipes into the selection programs."""
+    from .baselines import python_vet_sirius
+    clean, _ = python_vet_sirius(sirius_body)
+    return b"\n".join(clean) + b"\n"
+
+
+@pytest.fixture(scope="session")
+def clf_file() -> bytes:
+    return clf_workload(N_RECORDS, random.Random(19971015))

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Cobol billing feeds: copybook translation and automatic profiling.
+
+The paper's Altair project receives ~4000 Cobol files per day — too many
+to inspect by hand — so "accumulator profiles can be used to
+automatically determine which [files] have high percentages of errors",
+fed by "a tool that automatically translates Cobol copybooks into PADS
+descriptions" (Section 5.2).  This example runs that pipeline:
+
+1. translate a billing copybook into a PADS description,
+2. generate a synthetic EBCDIC day-file, injecting corruption into a few
+   records,
+3. profile it with an accumulator program and flag the file if the error
+   rate is unusual.
+
+Run:  python examples/cobol_billing.py
+"""
+
+import importlib.resources as resources
+import random
+
+from repro.tools.accum import Accumulator
+from repro.tools.cobol import translate
+from repro.tools.datagen import ErrorInjector, garble_byte
+
+N_RECORDS = 1500
+ALERT_THRESHOLD = 0.01  # flag files with >1% bad records
+INJECTION_RATE = 0.06   # corruptions hitting free-text bytes are invisible,
+                        # so detected errors run well below the injected rate
+
+
+def main() -> None:
+    copybook = (resources.files("repro.gallery") / "billing.cpy").read_text()
+    print("== copybook -> PADS description ==\n")
+    translation = translate(copybook, "billing.cpy")
+    print(translation.pads_source)
+    print(f"(record type {translation.record_type}, "
+          f"{translation.record_width} bytes per record)\n")
+
+    billing = translation.compile()
+    rng = random.Random(4000)
+
+    # A synthetic day-file with a few corrupted records.
+    injector = ErrorInjector(INJECTION_RATE, mutators=[garble_byte])
+    records = []
+    for _ in range(N_RECORDS):
+        rep = billing.generate(translation.record_type, rng)
+        raw = billing.write(rep, translation.record_type)
+        records.append(injector.maybe_corrupt(raw, rng))
+    data = b"".join(records)
+
+    print(f"== profiling {N_RECORDS} records "
+          f"({len(data)} bytes of EBCDIC/packed decimal) ==\n")
+    acc = Accumulator(billing.node(translation.record_type))
+    total = bad = 0
+    for rep, pd in billing.records(data, translation.record_type):
+        acc.add(rep, pd)
+        total += 1
+        bad += 1 if pd.nerr else 0
+
+    amount = acc.field("bill_amount").self_acc
+    print(acc.field("bill_amount").report(5))
+    print()
+    print(acc.field("service_class").report(5))
+
+    rate = bad / total
+    print(f"\nfile error rate: {bad}/{total} = {rate:.2%} "
+          f"(injected {injector.injected} corruptions)")
+    if rate > ALERT_THRESHOLD:
+        print(f"ALERT: error rate above {ALERT_THRESHOLD:.0%} — "
+              "route this feed for inspection")
+    else:
+        print("file looks healthy")
+
+    # The other half of the Altair check: compare today's profile against
+    # yesterday's to catch silent drift (a hijacked field, a new service
+    # class) even when nothing is syntactically wrong.
+    from repro.tools.drift import profile_and_compare
+    yesterday = b"".join(
+        billing.write(billing.generate(translation.record_type, rng),
+                      translation.record_type)
+        for _ in range(N_RECORDS))
+    print("\n== drift vs yesterday's profile ==")
+    report = profile_and_compare(billing, translation.record_type,
+                                 yesterday, data)
+    print(report.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Sirius provisioning: the paper's Figure 7 program plus Section 5.4 queries.
+
+Reproduces the paper's running example end to end on synthetic data:
+
+1. **Vet and normalise** (Figure 7): read records with a mask that checks
+   everything *except* the timestamp sort order, echo error records to an
+   error file and cleaned ones to a clean file, converting the two
+   representations of missing phone numbers (omitted, and the value 0)
+   into one (``cnvPhoneNumbers``), verifying afterwards.
+2. **Query** (Section 5.4): run the paper's XQuery — orders starting
+   within a time window — plus the analyst's other two queries, over the
+   data API node tree.
+
+Run:  python examples/sirius_provisioning.py
+"""
+
+import random
+
+from repro import Mask, P_CheckAndSet, P_Set, gallery
+from repro.tools.dataapi import node_new
+from repro.tools.datagen import sirius_workload
+from repro.tools.query import query
+
+N_ORDERS = 2000
+PHONE_FIELDS = ("service_tn", "billing_tn", "nlp_service_tn", "nlp_billing_tn")
+
+
+def cnv_phone_numbers(entry) -> None:
+    """The paper's cnvPhoneNumbers: unify `0` with the omitted (None)
+    representation of a missing phone number."""
+    for field in PHONE_FIELDS:
+        if getattr(entry.header, field) == 0:
+            setattr(entry.header, field, None)
+
+
+def main() -> None:
+    sirius = gallery.load_sirius()
+    data = sirius_workload(N_ORDERS, random.Random(2004))
+
+    # -- Figure 7: filter and normalise --------------------------------------
+    # "sets the mask to check all conditions in the Sirius description
+    # except the sorting of the timestamps"
+    mask = Mask(P_CheckAndSet)
+    events_mask = Mask(P_CheckAndSet)
+    events_mask.compound_level = P_Set
+    mask.fields["events"] = events_mask
+
+    header, hpd = sirius.parse(data, "summary_header_t")
+    print(f"summary header: week of timestamp {header.tstamp}")
+
+    body = data.split(b"\n", 1)[1]
+    clean_file, err_file = [], []
+    converted = 0
+    for entry, pd in sirius.records(body, "entry_t", mask):
+        if pd.nerr > 0:
+            err_file.append(sirius.write(entry, "entry_t"))
+            continue
+        before = [getattr(entry.header, f) for f in PHONE_FIELDS]
+        cnv_phone_numbers(entry)
+        converted += sum(1 for f, b in zip(PHONE_FIELDS, before)
+                         if b == 0 and getattr(entry.header, f) is None)
+        if sirius.verify(entry, "entry_t"):
+            clean_file.append(sirius.write(entry, "entry_t"))
+        else:
+            # Figure 7 calls error(2, "Data transform failed.") here.  The
+            # workload contains one record whose timestamps are unsorted —
+            # invisible to the masked parse but caught by the full verify —
+            # so we route it to the error file rather than halting.
+            err_file.append(sirius.write(entry, "entry_t"))
+
+    print(f"vetted {N_ORDERS} orders: {len(clean_file)} clean, "
+          f"{len(err_file)} errors "
+          f"(the sort check was masked off, as in Figure 7)")
+    print(f"normalised {converted} zero phone numbers to the "
+          "missing representation")
+
+    # -- Section 5.4: queries over the raw data ------------------------------
+    rep, pd = sirius.parse(data)
+    root = node_new(sirius, rep, pd, None, name="sirius")
+
+    window = query(
+        '$sirius/es/entry[events/event[1]'
+        '[tstamp >= xs:date("2001-09-01") and'
+        ' tstamp <= xs:date("2002-05-25")]]', root)
+    print(f"\norders starting within the window: {len(window)}")
+
+    through = query(
+        'count($sirius/es/entry[events/event/state = "LOC_CRTE"])', root)
+    print(f"orders passing through LOC_CRTE: {through[0]}")
+
+    avg = query(
+        'avg(for $o in $sirius/es/entry'
+        '    let $a := $o/events/event[state = "ST100"]/tstamp,'
+        '        $b := $o/events/event[state = "ST200"]/tstamp'
+        '    where exists($a) and exists($b)'
+        '    return $b - $a)', root)
+    if avg:
+        print(f"average ST100 -> ST200 time: {avg[0] / 3600.0:.1f} hours")
+    else:
+        print("no order passed through both ST100 and ST200 this week")
+
+    errors = query('count($sirius/es/entry[pd/nerr >= 1])', root)
+    print(f"orders whose parse descriptor records errors: {errors[0]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,1256 @@
+"""Compile a PADS description to Python source.
+
+The paper's compiler turns a description into ``.h``/``.c`` files; this
+emitter turns one into a single importable Python module.  Per declared
+type it generates:
+
+* ``<name>_parse(src, mask, *params)`` — a specialised parser with the
+  struct/union/array control flow, constraint checks, masks and error
+  recovery *inlined* (constraints are compiled to Python expressions via
+  :mod:`repro.expr.pycompile`),
+* ``<name>_write(rep, out, *params)``, ``<name>_verify(rep, *params)``
+  and ``<name>_default(*params)``,
+* the Figure 6 tool surface: ``<name>_m_init``, ``<name>_read``,
+  ``<name>_write2io``, ``<name>_fmt2io``, ``<name>_write_xml_2io``,
+  ``<name>_acc_init`` / ``_acc_add`` / ``_acc_report``,
+  ``<name>_node_new`` / ``<name>_node_kthChild``.
+
+Generated parsers must be observationally identical to the interpreted
+combinators in :mod:`repro.core.types`; ``tests/test_codegen.py`` holds
+property tests pinning the two against each other.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.basetypes.base import resolve_base_type
+from ..dsl import ast as D
+from ..expr import ast as E
+from ..expr.eval import BUILTINS
+from ..expr.pycompile import compile_expr, compile_function
+
+_ENCODINGS = {"ascii": "latin-1", "binary": "latin-1", "ebcdic": "cp037"}
+
+
+class _W:
+    """Indented source writer."""
+
+    def __init__(self):
+        self.lines: List[str] = []
+        self.depth = 0
+
+    def w(self, text: str = "") -> None:
+        if not text:
+            self.lines.append("")
+        else:
+            self.lines.append("    " * self.depth + text)
+
+    def block(self, header: str) -> "_Indent":
+        self.w(header)
+        return _Indent(self)
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+class _Indent:
+    def __init__(self, w: _W):
+        self.w = w
+
+    def __enter__(self):
+        self.w.depth += 1
+
+    def __exit__(self, *exc):
+        self.w.depth -= 1
+
+
+class Emitter:
+    def __init__(self, desc: D.Description, ambient: str = "ascii",
+                 module_name: str = "pads_generated",
+                 source_text: str = ""):
+        self.desc = desc
+        self.ambient = ambient
+        self.encoding = _ENCODINGS[ambient]
+        self.module_name = module_name
+        self.source_text = source_text
+        self.declared: Dict[str, D.Decl] = desc.types()
+        self.functions = desc.functions()
+        self.enum_literals: Dict[str, Tuple[str, int, str]] = {}
+        for decl in desc.decls:
+            if isinstance(decl, D.EnumDecl):
+                for pos, item in enumerate(decl.items):
+                    code = item.value if item.value is not None else pos
+                    phys = item.physical if item.physical is not None else item.name
+                    self.enum_literals[item.name] = (item.name, code, phys)
+        self._const_count = 0
+        self._consts: List[str] = []  # module-level constant definitions
+        self._tmp = 0
+        self._fastpaths: Dict[str, str] = {}  # type name -> fast fn name
+
+    # -- small helpers ------------------------------------------------------
+
+    def tmp(self, stem: str) -> str:
+        self._tmp += 1
+        return f"_{stem}{self._tmp}"
+
+    def const(self, expr: str) -> str:
+        name = f"_c{self._const_count}"
+        self._const_count += 1
+        self._consts.append(f"{name} = {expr}")
+        return name
+
+    def lit_bytes(self, text: str) -> bytes:
+        return text.encode(self.encoding)
+
+    def resolver(self, scope: Dict[str, str]):
+        def r(name: str) -> str:
+            if name in scope:
+                return scope[name]
+            if name in self.enum_literals:
+                return f"E_{name}"
+            if name in self.functions:
+                return f"fn_{name}"
+            if name in BUILTINS:
+                return f"_B[{name!r}]"
+            return name
+        return r
+
+    def cexpr(self, expr: E.Expr, scope: Dict[str, str]) -> str:
+        return compile_expr(expr, self.resolver(scope))
+
+    # -- type uses -------------------------------------------------------------
+
+    def is_declared(self, name: str) -> bool:
+        return name in self.declared
+
+    def static_base(self, name: str, args: List[E.Expr]) -> Optional[str]:
+        """Module-level constant for a base type with literal args."""
+        if not all(isinstance(a, (E.IntLit, E.StrLit, E.CharLit, E.FloatLit,
+                                  E.BoolLit)) for a in args):
+            return None
+        values = tuple(a.value for a in args)
+        # Validate eagerly so generation fails fast on bad descriptions.
+        resolve_base_type(name, values, self.ambient)
+        return self.const(f"_resolve({name!r}, {values!r}, AMBIENT)")
+
+    def emit_use_parse(self, w: _W, texpr: D.TypeExpr, mask_expr: str,
+                       val: str, pd: str, scope: Dict[str, str]) -> None:
+        """Emit code assigning ``val`` (value) and ``pd`` (child Pd) for a
+        parse of the type-use ``texpr`` at the cursor."""
+        if isinstance(texpr, D.OptType):
+            inner_val = self.tmp("ov")
+            inner_pd = self.tmp("opd")
+            state = self.tmp("st")
+            w.w(f"{state} = src.mark()")
+            self.emit_use_parse(w, texpr.inner, mask_expr, inner_val, inner_pd, scope)
+            with w.block(f"if {inner_pd}.nerr == 0:"):
+                w.w(f"src.commit({state})")
+                w.w(f"{pd} = Pd()")
+                w.w(f"{pd}.tag = 'some'")
+                w.w(f"{val} = {inner_val}")
+            with w.block("else:"):
+                w.w(f"src.restore({state})")
+                w.w(f"{pd} = Pd()")
+                w.w(f"{pd}.tag = 'none'")
+                w.w(f"{val} = None")
+            return
+
+        if isinstance(texpr, D.RegexType):
+            inst = self.const(f"_RegexME({texpr.pattern!r})")
+            self._emit_base_parse(w, inst, mask_expr, val, pd)
+            return
+
+        assert isinstance(texpr, D.TypeRef)
+        name, args = texpr.name, texpr.args
+        if self.is_declared(name):
+            arg_code = ", ".join(self.cexpr(a, scope) for a in args)
+            call = f"{name}_parse(src, {mask_expr}" + (f", {arg_code}" if arg_code else "") + ")"
+            if args:
+                with w.block("try:"):
+                    w.w(f"{val}, {pd} = {call}")
+                with w.block("except Exception:"):
+                    w.w(f"{val} = None")
+                    w.w(f"{pd} = Pd()")
+                    w.w(f"{pd}.record_error(ErrCode.USER_CONSTRAINT_VIOLATION, "
+                        "src.here(), panic=True)")
+            else:
+                w.w(f"{val}, {pd} = {call}")
+            return
+
+        static = self.static_base(name, args)
+        if static is not None:
+            self._emit_base_parse(w, static, mask_expr, val, pd)
+            return
+
+        # Dynamic base-type parameters.
+        inst = self.tmp("bt")
+        arg_code = ", ".join(self.cexpr(a, scope) for a in args)
+        w.w(f"{pd} = Pd()")
+        with w.block("try:"):
+            w.w(f"{inst} = _resolve({name!r}, ({arg_code},), AMBIENT)")
+        with w.block("except Exception:"):
+            w.w(f"{inst} = None")
+            w.w(f"{pd}.record_error(ErrCode.USER_CONSTRAINT_VIOLATION, "
+                "src.here(), panic=True)")
+            w.w(f"{val} = None")
+        with w.block(f"if {inst} is not None:"):
+            start = self.tmp("sp")
+            code = self.tmp("cd")
+            w.w(f"{start} = src.pos")
+            w.w(f"{val}, {code} = {inst}.parse(src, bool({mask_expr}.bits & 4))")
+            with w.block(f"if {code}:"):
+                w.w(f"{pd}.record_error({code}, src.loc_from({start}))")
+            with w.block(f"elif not ({mask_expr}.bits & 1):"):
+                w.w(f"{val} = {inst}.default()")
+
+    def _emit_base_parse(self, w: _W, inst: str, mask_expr: str,
+                         val: str, pd: str) -> None:
+        start = self.tmp("sp")
+        code = self.tmp("cd")
+        w.w(f"{start} = src.pos")
+        w.w(f"{val}, {code} = {inst}.parse(src, bool({mask_expr}.bits & 4))")
+        w.w(f"{pd} = Pd()")
+        with w.block(f"if {code}:"):
+            w.w(f"{pd}.record_error({code}, src.loc_from({start}))")
+        with w.block(f"elif not ({mask_expr}.bits & 1):"):
+            w.w(f"{val} = {inst}.default()")
+
+    def emit_use_write(self, w: _W, texpr: D.TypeExpr, val: str,
+                       scope: Dict[str, str]) -> None:
+        if isinstance(texpr, D.OptType):
+            with w.block(f"if {val} is not None:"):
+                self.emit_use_write(w, texpr.inner, val, scope)
+            return
+        if isinstance(texpr, D.RegexType):
+            inst = self.const(f"_RegexME({texpr.pattern!r})")
+            w.w(f"out.append({inst}.write({val}))")
+            return
+        assert isinstance(texpr, D.TypeRef)
+        name, args = texpr.name, texpr.args
+        if self.is_declared(name):
+            arg_code = ", ".join(self.cexpr(a, scope) for a in args)
+            w.w(f"{name}_write({val}, out" + (f", {arg_code}" if arg_code else "") + ")")
+            return
+        static = self.static_base(name, args)
+        if static is not None:
+            w.w(f"out.append({static}.write({val}))")
+            return
+        arg_code = ", ".join(self.cexpr(a, scope) for a in args)
+        w.w(f"out.append(_resolve({name!r}, ({arg_code},), AMBIENT).write({val}))")
+
+    def emit_use_verify(self, w: _W, texpr: D.TypeExpr, val: str,
+                        scope: Dict[str, str]) -> None:
+        """Emit ``return False`` paths for a nested verification."""
+        if isinstance(texpr, D.OptType):
+            sub = _W()
+            sub.depth = w.depth + 1
+            self.emit_use_verify(sub, texpr.inner, val, scope)
+            if sub.lines:
+                w.w(f"if {val} is not None:")
+                w.lines.extend(sub.lines)
+            return
+        if isinstance(texpr, D.RegexType):
+            return
+        assert isinstance(texpr, D.TypeRef)
+        name, args = texpr.name, texpr.args
+        if self.is_declared(name):
+            arg_code = ", ".join(self.cexpr(a, scope) for a in args)
+            call = f"{name}_verify({val}" + (f", {arg_code}" if arg_code else "") + ")"
+            with w.block(f"if not {call}:"):
+                w.w("return False")
+
+    def use_default_expr(self, texpr: D.TypeExpr, scope: Dict[str, str]) -> str:
+        if isinstance(texpr, D.OptType):
+            return "None"
+        if isinstance(texpr, D.RegexType):
+            return "''"
+        assert isinstance(texpr, D.TypeRef)
+        name, args = texpr.name, texpr.args
+        if self.is_declared(name):
+            arg_code = ", ".join(self.cexpr(a, scope) for a in args)
+            return f"_safe_default(lambda: {name}_default({arg_code}))"
+        static = self.static_base(name, args)
+        if static is not None:
+            return f"{static}.default()"
+        arg_code = ", ".join(self.cexpr(a, scope) for a in args)
+        return (f"_safe_default(lambda: _resolve({name!r}, ({arg_code},), "
+                "AMBIENT).default())")
+
+    # -- declarations -----------------------------------------------------------
+
+    def emit_module(self) -> str:
+        w = _W()
+        body = _W()
+        for decl in self.desc.decls:
+            body.w()
+            body.w()
+            if isinstance(decl, D.FuncDecl):
+                self.emit_function(body, decl)
+            elif isinstance(decl, D.BitfieldsDecl):
+                lowered = D.lower_bitfields(decl)
+                if lowered.is_record and not lowered.params:
+                    from .fastpath import try_fastpath
+                    fast = try_fastpath(self, lowered)
+                    if fast is not None:
+                        fn_name, lines = fast
+                        self._fastpaths[lowered.name] = fn_name
+                        body.lines.extend(lines)
+                        body.w()
+                self.emit_struct(body, lowered)
+            elif isinstance(decl, D.StructDecl):
+                if decl.is_record and not decl.params:
+                    from .fastpath import try_fastpath
+                    fast = try_fastpath(self, decl)
+                    if fast is not None:
+                        fn_name, lines = fast
+                        self._fastpaths[decl.name] = fn_name
+                        body.lines.extend(lines)
+                        body.w()
+                self.emit_struct(body, decl)
+            elif isinstance(decl, D.UnionDecl):
+                if decl.is_switched:
+                    self.emit_switch_union(body, decl)
+                else:
+                    self.emit_union(body, decl)
+            elif isinstance(decl, D.ArrayDecl):
+                self.emit_array(body, decl)
+            elif isinstance(decl, D.EnumDecl):
+                self.emit_enum(body, decl)
+            elif isinstance(decl, D.TypedefDecl):
+                self.emit_typedef(body, decl)
+            if isinstance(decl, D.Decl):
+                self.emit_tool_surface(body, decl)
+
+        self._emit_preamble(w)
+        for line in self._consts:
+            w.w(line)
+        w.lines.extend(body.lines)
+        self._emit_registry(w)
+        return w.source()
+
+    def _emit_preamble(self, w: _W) -> None:
+        w.w(f'"""Generated by padsc (repro PADS compiler) — do not edit.')
+        w.w("")
+        w.w(f"Source description: {self.desc.filename}")
+        w.w(f"Ambient coding: {self.ambient}")
+        w.w('"""')
+        w.w("")
+        w.w("from repro.core.errors import ErrCode, Loc, Pd, Pstate")
+        w.w("from repro.core.io import Source")
+        w.w("from repro.core.masks import Mask, MaskFlag, P_CheckAndSet")
+        w.w("from repro.core.values import DateVal, EnumVal, FloatVal, Rec, UnionVal")
+        w.w("from repro.core.basetypes.base import resolve_base_type as _resolve")
+        w.w("from repro.core.basetypes.strings import RegexMatchString as _RegexME")
+        w.w("from repro.expr.runtime import cdiv as _cdiv, cmod as _cmod, "
+            "getmember as _member, builtins_table as _B")
+        w.w("from repro.codegen.runtime import (lit_resync as _lit_resync, "
+            "skip_to_literal as _skip_to_lit, array_resync as _array_resync, "
+            "convert_packed as _fp_packed, convert_zoned as _fp_zoned)")
+        w.w("from repro.core.basetypes.temporal import parse_date_text "
+            "as _parse_date_text")
+        w.w("")
+        w.w(f"AMBIENT = {self.ambient!r}")
+        w.w("DISCIPLINE = None  # set by the loader; None means newline records")
+        w.w(f"SOURCE = {self.source_text!r}")
+        w.w("_INTERP = None")
+        w.w("")
+        with w.block("def _interp():"):
+            w.w('"""Interpreted twin used by the structural tools '
+                '(fmt/xml/acc/query)."""')
+            w.w("global _INTERP")
+            with w.block("if _INTERP is None:"):
+                w.w("from repro.core.api import compile_description")
+                w.w("_INTERP = compile_description(SOURCE, ambient=AMBIENT, "
+                    "discipline=DISCIPLINE)")
+            w.w("return _INTERP")
+        w.w("")
+        with w.block("def _safe_default(thunk):"):
+            with w.block("try:"):
+                w.w("return thunk()")
+            with w.block("except Exception:"):
+                w.w("return None")
+        w.w("")
+        with w.block("def _fp_parse_date(text):"):
+            w.w('"""Fast-path date conversion: datetime -> DateVal."""')
+            w.w("_dt = _parse_date_text(text)")
+            with w.block("if _dt is None:"):
+                w.w("return None")
+            w.w("return DateVal.from_datetime(_dt, text)")
+        w.w("")
+        for name, (lit, code, phys) in self.enum_literals.items():
+            w.w(f"E_{name} = EnumVal({lit!r}, {code}, {phys!r})")
+        w.w("")
+
+    def emit_function(self, w: _W, decl: D.FuncDecl) -> None:
+        src = compile_function(decl.func, self.resolver({}), name_prefix="fn_")
+        for line in src.split("\n"):
+            w.w(line)
+
+    def params_sig(self, decl: D.Decl) -> str:
+        return "".join(f", p_{p}" for _, p in decl.params)
+
+    def params_scope(self, decl: D.Decl) -> Dict[str, str]:
+        return {p: f"p_{p}" for _, p in decl.params}
+
+    def _mask_param(self, decl: D.Decl) -> str:
+        # A required `mask` cannot be defaulted when value parameters
+        # follow it positionally.
+        return "mask" if decl.params else "mask=None"
+
+    def _emit_record_wrapper(self, w: _W, decl: D.Decl) -> str:
+        """For Precord types, the public parse wraps an inner body."""
+        name = decl.name
+        sig = self.params_sig(decl)
+        args = "".join(f", p_{p}" for _, p in decl.params)
+        fast = self._fastpaths.get(name)
+        with w.block(f"def {name}_parse(src, {self._mask_param(decl)}{sig}):"):
+            w.w(f'"""Parse one {name} (Precord: occupies a whole record)."""')
+            w.w("if mask is None: mask = Mask(P_CheckAndSet)")
+            with w.block("if src.in_record:"):
+                w.w(f"return _{name}_body(src, mask{args})")
+            with w.block("if not src.begin_record():"):
+                w.w("pd = Pd()")
+                w.w("pd.record_error(ErrCode.AT_EOF, src.here(), panic=True)")
+                w.w(f"return _safe_default(lambda: {name}_default({args.lstrip(', ')})), pd")
+            if fast is not None:
+                # Uniform, value-materialising masks take the compiled
+                # one-regex route; None means "let the general parser decide".
+                with w.block("if (mask.bits & 1) and not mask.fields "
+                             "and mask.compound_level is None "
+                             "and mask.elts is None:"):
+                    w.w(f"_rep = {fast}(src.record_bytes(), "
+                        "(mask.bits & 4) != 0)")
+                    with w.block("if _rep is not None:"):
+                        w.w("src.pos = src.rec_end")
+                        w.w("src.end_record()")
+                        w.w("return _rep, Pd()")
+            w.w(f"rep, pd = _{name}_body(src, mask{args})")
+            with w.block("if not src.at_eor() and (mask.bits & 2) and pd.nerr == 0:"):
+                w.w("pd.record_error(ErrCode.EXTRA_DATA_AT_EOR, src.here())")
+            w.w("src.end_record()")
+            w.w("return rep, pd")
+        w.w()
+        return f"_{name}_body"
+
+    def _parse_header(self, w: _W, decl: D.Decl) -> str:
+        """Emit the def line for the parse function; returns its name."""
+        if decl.is_record:
+            inner = self._emit_record_wrapper(w, decl)
+            w.w(f"def {inner}(src, mask{self.params_sig(decl)}):")
+            return inner
+        w.w(f"def {decl.name}_parse(src, {self._mask_param(decl)}"
+            f"{self.params_sig(decl)}):")
+        return f"{decl.name}_parse"
+
+    # -- Pstruct ------------------------------------------------------------------
+
+    def emit_struct(self, w: _W, decl: D.StructDecl) -> None:
+        name = decl.name
+        scope = self.params_scope(decl)
+        fn = self._parse_header(w, decl)
+        with _Indent(w):
+            if not decl.is_record:
+                w.w(f'"""Parse one {name}."""')
+                w.w("if mask is None: mask = Mask(P_CheckAndSet)")
+            w.w("pd = Pd()")
+            w.w("_panic = False")
+            w.w("_skip = 0")
+            members = decl.items
+            for i, item in enumerate(members):
+                self._emit_struct_member(w, decl, members, i, scope)
+            # Build the rep.
+            field_args = ", ".join(
+                f"{f.name}=v_{f.name}" for f in members
+                if isinstance(f, (D.DataField, D.ComputeField)))
+            w.w(f"rep = Rec({field_args})")
+            if decl.where is not None:
+                wscope = dict(scope)
+                for f in members:
+                    if isinstance(f, (D.DataField, D.ComputeField)):
+                        wscope[f.name] = f"v_{f.name}"
+                with w.block("if (int(mask.level) & 4) and pd.nerr == 0:"):
+                    self._emit_bool_check(w, decl.where, wscope,
+                                          "pd.record_error(ErrCode."
+                                          "WHERE_CLAUSE_VIOLATION, src.here())")
+            w.w("return rep, pd")
+        w.w()
+        self._emit_struct_write(w, decl)
+        self._emit_struct_verify(w, decl)
+        self._emit_struct_default(w, decl)
+
+    def _emit_bool_check(self, w: _W, expr: E.Expr, scope: Dict[str, str],
+                         on_fail: str) -> None:
+        ok = self.tmp("ok")
+        with w.block("try:"):
+            w.w(f"{ok} = bool({self.cexpr(expr, scope)})")
+        with w.block("except Exception:"):
+            w.w(f"{ok} = False")
+        with w.block(f"if not {ok}:"):
+            w.w(on_fail)
+
+    def _next_literal_info(self, members, i: int):
+        """(block_distance, literal_spec) for the next scannable literal."""
+        for j in range(i + 1, len(members)):
+            item = members[j]
+            if isinstance(item, D.LiteralField) and \
+                    item.literal.kind in ("char", "string"):
+                return j - i, item.literal
+        return None
+
+    def _emit_struct_member(self, w: _W, decl: D.StructDecl, members,
+                            i: int, scope: Dict[str, str]) -> None:
+        item = members[i]
+        w.w(f"# member {i}: {_member_label(item)}")
+        if isinstance(item, D.LiteralField):
+            lit = item.literal
+            if lit.kind in ("char", "string"):
+                raw_bytes = self.lit_bytes(lit.value)
+                raw = self.const(repr(raw_bytes))
+                with w.block("if _skip > 0:"):
+                    w.w("_skip -= 1")
+                with w.block("elif not _panic:"):
+                    if len(raw_bytes) == 1:
+                        match = f"src.first_byte() == {raw_bytes[0]}"
+                        consume = "src.pos += 1"
+                    else:
+                        match = f"src.match_bytes({raw})"
+                        consume = "pass"
+                    with w.block(f"if {match}:"):
+                        w.w(consume)
+                    with w.block("else:"):
+                        w.w("_lstart = src.pos")
+                        with w.block(f"if not _lit_resync(src, pd, {raw}, _lstart):"):
+                            w.w("_panic = True")
+            elif lit.kind == "regex":
+                rx = self.const(f"__import__('re').compile("
+                                f"{self.lit_bytes(lit.value)!r})")
+                with w.block("if _skip > 0:"):
+                    w.w("_skip -= 1")
+                with w.block("elif not _panic:"):
+                    w.w(f"_m = {rx}.match(src.scope_bytes())")
+                    with w.block("if _m is not None:"):
+                        w.w("src.skip(_m.end())")
+                    with w.block("else:"):
+                        w.w("pd.record_error(ErrCode.MISSING_LITERAL, "
+                            "src.here(), panic=True)")
+                        w.w("src.skip_to_eor()")
+                        w.w("_panic = True")
+            else:  # eor / eof markers inside structs: positional checks
+                check = "src.at_end()" if lit.kind == "eor" else "src.at_eof()"
+                with w.block("if _skip > 0:"):
+                    w.w("_skip -= 1")
+                with w.block(f"elif not _panic and not {check}:"):
+                    w.w("pd.record_error(ErrCode.MISSING_LITERAL, src.here(), "
+                        "panic=True)")
+                    w.w("src.skip_to_eor()")
+                    w.w("_panic = True")
+            return
+
+        if isinstance(item, D.ComputeField):
+            with w.block("if _panic or _skip > 0:"):
+                w.w("_skip = _skip - 1 if _skip > 0 else _skip")
+                w.w(f"v_{item.name} = None")
+            with w.block("else:"):
+                with w.block("try:"):
+                    w.w(f"v_{item.name} = {self.cexpr(item.expr, scope)}")
+                with w.block("except Exception:"):
+                    w.w(f"v_{item.name} = None")
+                    w.w("pd.record_error(ErrCode.USER_CONSTRAINT_VIOLATION, "
+                        "src.here())")
+                scope[item.name] = f"v_{item.name}"
+                if item.constraint is not None:
+                    with w.block(f"if (mask.bits & 4) and "
+                                 f"v_{item.name} is not None:"):
+                        self._emit_bool_check(
+                            w, item.constraint, dict(scope),
+                            "pd.record_error(ErrCode."
+                            "USER_CONSTRAINT_VIOLATION, src.here())")
+            scope[item.name] = f"v_{item.name}"
+            return
+
+        assert isinstance(item, D.DataField)
+        fname = item.name
+        default = self.use_default_expr(item.type, scope)
+        with w.block("if _panic or _skip > 0:"):
+            w.w("_skip = _skip - 1 if _skip > 0 else _skip")
+            w.w(f"v_{fname} = {default}")
+            w.w("_cpd = Pd()")
+            w.w("_cpd.pstate = Pstate.PANIC")
+            w.w(f"pd.fields[{fname!r}] = _cpd")
+        with w.block("else:"):
+            w.w(f"_fm = mask.for_field({fname!r})")
+            w.w("_fstart = src.pos")
+            self.emit_use_parse(w, item.type, "_fm", f"v_{fname}", "_cpd", scope)
+            scope[fname] = f"v_{fname}"
+            if item.constraint is not None:
+                cscope = dict(scope)
+                with w.block("if (_fm.bits & 4) and _cpd.nerr == 0:"):
+                    self._emit_bool_check(
+                        w, item.constraint, cscope,
+                        "_cpd.record_error(ErrCode.USER_CONSTRAINT_VIOLATION, "
+                        "src.loc_from(_fstart))")
+            with w.block("if _cpd.nerr:"):
+                w.w(f"pd.fields[{fname!r}] = _cpd")
+                w.w("pd.absorb(_cpd)")
+            with w.block("if _cpd.nerr and _cpd.err_code.is_syntactic() "
+                         "and src.pos == _fstart:"):
+                nxt = self._next_literal_info(members, i)
+                if nxt is not None:
+                    distance, lit = nxt
+                    raw = self.const(repr(self.lit_bytes(lit.value)))
+                    with w.block(f"if _skip_to_lit(src, {raw}):"):
+                        w.w(f"_skip = {distance}")
+                    with w.block("else:"):
+                        w.w("pd.pstate |= Pstate.PANIC")
+                        w.w("src.skip_to_eor()")
+                        w.w("_panic = True")
+                else:
+                    w.w("pd.pstate |= Pstate.PANIC")
+                    w.w("src.skip_to_eor()")
+                    w.w("_panic = True")
+        scope[fname] = f"v_{fname}"
+
+    def _emit_record_write_prologue(self, w: _W, is_record: bool) -> None:
+        """Shadow ``out`` with a fresh list for Precord types so the body
+        below needs no target rewriting."""
+        if is_record:
+            w.w("_outer = out")
+            w.w("out = []")
+
+    def _emit_record_write_epilogue(self, w: _W, is_record: bool) -> None:
+        if is_record:
+            w.w("_content = b''.join(out)")
+            with w.block("if DISCIPLINE is None:"):
+                w.w("_outer.append(_content + b'\\n')")
+            with w.block("else:"):
+                w.w("_outer.append(DISCIPLINE.header(_content) + _content + "
+                    "DISCIPLINE.trailer(_content))")
+
+    def _emit_struct_write(self, w: _W, decl: D.StructDecl) -> None:
+        name = decl.name
+        scope = self.params_scope(decl)
+        with w.block(f"def {name}_write(rep, out{self.params_sig(decl)}):"):
+            w.w(f'"""Append {name}\'s physical form to ``out``."""')
+            self._emit_record_write_prologue(w, decl.is_record)
+            self._struct_write_body(w, decl, scope)
+            self._emit_record_write_epilogue(w, decl.is_record)
+        w.w()
+
+    def _struct_write_body(self, w: _W, decl: D.StructDecl,
+                           scope: Dict[str, str]) -> None:
+        scope = dict(scope)
+        for item in decl.items:
+            if isinstance(item, D.LiteralField):
+                lit = item.literal
+                if lit.kind in ("char", "string"):
+                    raw = self.const(repr(self.lit_bytes(lit.value)))
+                    w.w(f"out.append({raw})")
+                elif lit.kind == "regex":
+                    w.w("raise ValueError('cannot write a regex literal')")
+            elif isinstance(item, D.ComputeField):
+                scope[item.name] = f"rep.{item.name}"
+            else:
+                w.w(f"v_{item.name} = rep.{item.name}")
+                scope[item.name] = f"v_{item.name}"
+                self.emit_use_write(w, item.type, f"v_{item.name}", scope)
+        if not decl.items:
+            w.w("pass")
+
+    def _emit_struct_verify(self, w: _W, decl: D.StructDecl) -> None:
+        name = decl.name
+        scope = self.params_scope(decl)
+        with w.block(f"def {name}_verify(rep{self.params_sig(decl)}):"):
+            w.w(f'"""Re-check {name}\'s semantic constraints '
+                '(Figure 7\'s entry_t_verify)."""')
+            scope = dict(scope)
+            for item in decl.items:
+                if isinstance(item, D.LiteralField):
+                    continue
+                with w.block("try:"):
+                    w.w(f"v_{item.name} = rep.{item.name}")
+                with w.block("except AttributeError:"):
+                    w.w("return False")
+                scope[item.name] = f"v_{item.name}"
+                if isinstance(item, D.DataField):
+                    self.emit_use_verify(w, item.type, f"v_{item.name}", scope)
+                if item.constraint is not None:
+                    self._emit_bool_check(w, item.constraint, scope,
+                                          "return False")
+            if decl.where is not None:
+                self._emit_bool_check(w, decl.where, scope, "return False")
+            w.w("return True")
+        w.w()
+
+    def _emit_struct_default(self, w: _W, decl: D.StructDecl) -> None:
+        name = decl.name
+        scope = self.params_scope(decl)
+        with w.block(f"def {name}_default({self.params_sig(decl).lstrip(', ')}):"):
+            scope = dict(scope)
+            args = []
+            for item in decl.items:
+                if isinstance(item, D.LiteralField):
+                    continue
+                if isinstance(item, D.ComputeField):
+                    w.w(f"v_{item.name} = None")
+                else:
+                    w.w(f"v_{item.name} = {self.use_default_expr(item.type, scope)}")
+                scope[item.name] = f"v_{item.name}"
+                args.append(f"{item.name}=v_{item.name}")
+            w.w(f"return Rec({', '.join(args)})")
+        w.w()
+
+    # -- Punion ----------------------------------------------------------------------
+
+    def emit_union(self, w: _W, decl: D.UnionDecl) -> None:
+        name = decl.name
+        scope = self.params_scope(decl)
+        fn = self._parse_header(w, decl)
+        with _Indent(w):
+            if not decl.is_record:
+                w.w(f'"""Parse one {name} (first branch that parses without '
+                    'error wins)."""')
+                w.w("if mask is None: mask = Mask(P_CheckAndSet)")
+            w.w("pd = Pd()")
+            w.w("_uloc = src.here()")
+            for br in decl.branches:
+                w.w(f"# branch {br.name}")
+                w.w("_bst = src.mark()")
+                w.w(f"_bm = mask.for_field({br.name!r})")
+                self.emit_use_parse(w, br.type, "_bm", "_bv", "_bpd", scope)
+                w.w("_ok = _bpd.nerr == 0")
+                if br.constraint is not None:
+                    bscope = dict(scope)
+                    bscope[br.name] = "_bv"
+                    with w.block("if _ok:"):
+                        with w.block("try:"):
+                            w.w(f"_ok = bool({self.cexpr(br.constraint, bscope)})")
+                        with w.block("except Exception:"):
+                            w.w("_ok = False")
+                with w.block("if _ok:"):
+                    w.w("src.commit(_bst)")
+                    w.w(f"pd.tag = {br.name!r}")
+                    w.w(f"return UnionVal({br.name!r}, _bv), pd")
+                w.w("src.restore(_bst)")
+            w.w("pd.record_error(ErrCode.UNION_MATCH_FAILURE, _uloc, panic=True)")
+            w.w("return UnionVal('<none>', None), pd")
+        w.w()
+        self._emit_union_write(w, decl, decl.branches)
+        self._emit_union_verify(w, decl)
+        self._emit_union_default(w, decl, decl.branches[0])
+
+    def emit_switch_union(self, w: _W, decl: D.UnionDecl) -> None:
+        name = decl.name
+        scope = self.params_scope(decl)
+        fn = self._parse_header(w, decl)
+        cases = decl.cases
+        default_idx = next((k for k, c in enumerate(cases) if c.value is None), -1)
+        with _Indent(w):
+            if not decl.is_record:
+                w.w(f'"""Parse one {name} (Pswitch on a selector '
+                    'expression)."""')
+                w.w("if mask is None: mask = Mask(P_CheckAndSet)")
+            w.w("pd = Pd()")
+            w.w("_case = None")
+            with w.block("try:"):
+                w.w(f"_sel = {self.cexpr(decl.switch, scope)}")
+            with w.block("except Exception:"):
+                w.w("_case = -1")
+            with w.block("if _case is None:"):
+                for k, case in enumerate(cases):
+                    if case.value is None:
+                        continue
+                    with w.block("try:"):
+                        with w.block(f"if _case is None and _sel == "
+                                     f"{self.cexpr(case.value, scope)}:"):
+                            w.w(f"_case = {k}")
+                    with w.block("except Exception:"):
+                        w.w("pass")
+                with w.block("if _case is None:"):
+                    w.w(f"_case = {default_idx}")
+            with w.block("if _case == -1:"):
+                w.w("pd.record_error(ErrCode.SWITCH_NO_CASE, src.here(), "
+                    "panic=True)")
+                w.w("return UnionVal('<none>', None), pd")
+            for k, case in enumerate(cases):
+                f = case.field
+                with w.block(f"if _case == {k}:"):
+                    w.w(f"_cm = mask.for_field({f.name!r})")
+                    self.emit_use_parse(w, f.type, "_cm", "_cv", "_cpd", scope)
+                    w.w("pd.branch = _cpd")
+                    w.w(f"pd.tag = {f.name!r}")
+                    w.w("pd.absorb(_cpd)")
+                    if f.constraint is not None:
+                        cscope = dict(scope)
+                        cscope[f.name] = "_cv"
+                        with w.block("if (mask.bits & 4) and _cpd.nerr == 0:"):
+                            self._emit_bool_check(
+                                w, f.constraint, cscope,
+                                "pd.record_error(ErrCode."
+                                "USER_CONSTRAINT_VIOLATION, src.here())")
+                    w.w(f"return UnionVal({f.name!r}, _cv), pd")
+            w.w("pd.record_error(ErrCode.SWITCH_NO_CASE, src.here(), panic=True)")
+            w.w("return UnionVal('<none>', None), pd")
+        w.w()
+        self._emit_union_write(w, decl, [c.field for c in cases])
+        self._emit_switch_verify(w, decl)
+        self._emit_union_default(w, decl, cases[0].field)
+
+    def _emit_union_write(self, w: _W, decl: D.UnionDecl, branches) -> None:
+        name = decl.name
+        scope = self.params_scope(decl)
+        with w.block(f"def {name}_write(rep, out{self.params_sig(decl)}):"):
+            w.w(f'"""Append {name}\'s physical form to ``out``."""')
+            self._emit_record_write_prologue(w, decl.is_record)
+            for br in branches:
+                with w.block(f"if rep.tag == {br.name!r}:"):
+                    w.w("_v = rep.value")
+                    self.emit_use_write(w, br.type, "_v", dict(scope))
+                    self._emit_record_write_epilogue(w, decl.is_record)
+                    w.w("return")
+            w.w(f"raise ValueError('unknown union branch %r for {name}' % (rep.tag,))")
+        w.w()
+
+    def _emit_union_verify(self, w: _W, decl: D.UnionDecl) -> None:
+        name = decl.name
+        scope = self.params_scope(decl)
+        with w.block(f"def {name}_verify(rep{self.params_sig(decl)}):"):
+            for br in decl.branches:
+                with w.block(f"if rep.tag == {br.name!r}:"):
+                    w.w("_v = rep.value")
+                    self.emit_use_verify(w, br.type, "_v", dict(scope))
+                    if br.constraint is not None:
+                        bscope = dict(scope)
+                        bscope[br.name] = "_v"
+                        self._emit_bool_check(w, br.constraint, bscope,
+                                              "return False")
+                    w.w("return True")
+            w.w("return False")
+        w.w()
+
+    def _emit_switch_verify(self, w: _W, decl: D.UnionDecl) -> None:
+        name = decl.name
+        scope = self.params_scope(decl)
+        cases = decl.cases
+        default_idx = next((k for k, c in enumerate(cases) if c.value is None), -1)
+        with w.block(f"def {name}_verify(rep{self.params_sig(decl)}):"):
+            w.w("_case = None")
+            with w.block("try:"):
+                w.w(f"_sel = {self.cexpr(decl.switch, scope)}")
+            with w.block("except Exception:"):
+                w.w("return False")
+            for k, case in enumerate(cases):
+                if case.value is None:
+                    continue
+                with w.block("try:"):
+                    with w.block(f"if _case is None and _sel == "
+                                 f"{self.cexpr(case.value, scope)}:"):
+                        w.w(f"_case = {k}")
+                with w.block("except Exception:"):
+                    w.w("pass")
+            with w.block("if _case is None:"):
+                w.w(f"_case = {default_idx}")
+            with w.block("if _case == -1:"):
+                w.w("return False")
+            for k, case in enumerate(cases):
+                f = case.field
+                with w.block(f"if _case == {k}:"):
+                    with w.block(f"if rep.tag != {f.name!r}:"):
+                        w.w("return False")
+                    w.w("_v = rep.value")
+                    self.emit_use_verify(w, f.type, "_v", dict(scope))
+                    w.w("return True")
+            w.w("return False")
+        w.w()
+
+    def _emit_union_default(self, w: _W, decl: D.UnionDecl,
+                            first: D.DataField) -> None:
+        name = decl.name
+        scope = self.params_scope(decl)
+        with w.block(f"def {name}_default({self.params_sig(decl).lstrip(', ')}):"):
+            w.w(f"return UnionVal({first.name!r}, "
+                f"{self.use_default_expr(first.type, dict(scope))})")
+        w.w()
+
+    # -- Parray ---------------------------------------------------------------------
+
+    def _term_check_expr(self, decl: D.ArrayDecl) -> Optional[str]:
+        term = decl.term
+        if term is None:
+            return None
+        if term.kind in ("char", "string"):
+            raw_bytes = self.lit_bytes(term.value)
+            if len(raw_bytes) == 1:
+                return f"src.first_byte() == {raw_bytes[0]}"
+            raw = self.const(repr(raw_bytes))
+            return f"src.peek({len(raw_bytes)}) == {raw}"
+        if term.kind == "regex":
+            rx = self.const(f"__import__('re').compile("
+                            f"{self.lit_bytes(term.value)!r})")
+            return f"{rx}.match(src.scope_bytes()) is not None"
+        if term.kind == "eor":
+            return "src.at_end()"
+        return "src.at_eof()"
+
+    def emit_array(self, w: _W, decl: D.ArrayDecl) -> None:
+        name = decl.name
+        scope = self.params_scope(decl)
+        ascope = dict(scope)
+        ascope["elts"] = "elts"
+        ascope["length"] = "_length"
+        fn = self._parse_header(w, decl)
+        sep_raw = None
+        if decl.sep is not None and decl.sep.kind in ("char", "string"):
+            sep_raw = self.const(repr(self.lit_bytes(decl.sep.value)))
+        sep_rx = None
+        if decl.sep is not None and decl.sep.kind == "regex":
+            sep_rx = self.const(f"__import__('re').compile("
+                                f"{self.lit_bytes(decl.sep.value)!r})")
+        term_raw = "None"
+        if decl.term is not None and decl.term.kind in ("char", "string"):
+            term_raw = self.const(repr(self.lit_bytes(decl.term.value)))
+        term_check = self._term_check_expr(decl)
+
+        with _Indent(w):
+            if not decl.is_record:
+                w.w(f'"""Parse one {name} array."""')
+                w.w("if mask is None: mask = Mask(P_CheckAndSet)")
+            w.w("pd = Pd()")
+            w.w("_em = mask.for_elements()")
+            w.w("elts = []")
+            with w.block("try:"):
+                if decl.min_size is not None:
+                    w.w(f"_lo = int({self.cexpr(decl.min_size, scope)})")
+                else:
+                    w.w("_lo = None")
+                if decl.max_size is not None:
+                    w.w(f"_hi = int({self.cexpr(decl.max_size, scope)})")
+                else:
+                    w.w("_hi = None")
+            with w.block("except Exception:"):
+                w.w("pd.record_error(ErrCode.ARRAY_SIZE_ERR, src.here(), "
+                    "panic=True)")
+                w.w("return [], pd")
+            w.w("_first = True")
+            with w.block("while True:"):
+                with w.block("if _hi is not None and len(elts) >= _hi:"):
+                    w.w("break")
+                if decl.ended is not None:
+                    w.w("_length = len(elts)")
+                    ok = self.tmp("ok")
+                    with w.block("try:"):
+                        w.w(f"{ok} = bool({self.cexpr(decl.ended, ascope)})")
+                    with w.block("except Exception:"):
+                        w.w(f"{ok} = False")
+                    with w.block(f"if {ok}:"):
+                        w.w("break")
+                if term_check is not None:
+                    with w.block(f"if {term_check}:"):
+                        w.w("break")
+                with w.block("if src.at_end():"):
+                    w.w("break")
+                if decl.sep is not None:
+                    with w.block("if not _first:"):
+                        if sep_raw is not None:
+                            sep_bytes = self.lit_bytes(decl.sep.value)
+                            if len(sep_bytes) == 1:
+                                with w.block(f"if src.first_byte() == {sep_bytes[0]}:"):
+                                    w.w("src.pos += 1")
+                                with w.block("else:"):
+                                    w.w("break")
+                            else:
+                                with w.block(f"if not src.match_bytes({sep_raw}):"):
+                                    w.w("break")
+                        else:
+                            w.w(f"_sm = {sep_rx}.match(src.scope_bytes())")
+                            with w.block("if _sm is not None and _sm.end() > 0:"):
+                                w.w("src.skip(_sm.end())")
+                            with w.block("else:"):
+                                w.w("break")
+                w.w("_before = src.pos")
+                if decl.longest:
+                    w.w("_ast = src.mark()")
+                    self.emit_use_parse(w, decl.elt_type, "_em", "_ev", "_epd",
+                                        dict(ascope))
+                    with w.block("if _epd.nerr > 0:"):
+                        w.w("src.restore(_ast)")
+                        w.w("break")
+                    w.w("src.commit(_ast)")
+                else:
+                    self.emit_use_parse(w, decl.elt_type, "_em", "_ev", "_epd",
+                                        dict(ascope))
+                with w.block("if _epd.nerr > 0:"):
+                    w.w("pd.neerr += 1")
+                    with w.block("if pd.first_error < 0:"):
+                        w.w("pd.first_error = len(elts)")
+                    w.w("pd.absorb(_epd)")
+                    with w.block("if _epd.err_code.is_syntactic() and "
+                                 "src.pos == _before:"):
+                        with w.block(f"if not _array_resync(src, "
+                                     f"{sep_raw or 'None'}, {term_raw}):"):
+                            w.w("pd.pstate |= Pstate.PANIC")
+                            w.w("break")
+                w.w("pd.elts.append(_epd)")
+                w.w("elts.append(_ev)")
+                w.w("_first = False")
+                if decl.last is not None:
+                    w.w("_length = len(elts)")
+                    ok = self.tmp("ok")
+                    with w.block("try:"):
+                        w.w(f"{ok} = bool({self.cexpr(decl.last, ascope)})")
+                    with w.block("except Exception:"):
+                        w.w(f"{ok} = False")
+                    with w.block(f"if {ok}:"):
+                        w.w("break")
+                if decl.sep is None:
+                    with w.block("if src.pos == _before:"):
+                        w.w("break")
+            with w.block("if _lo is not None and len(elts) < _lo and "
+                         "(mask.bits & 2):"):
+                w.w("pd.record_error(ErrCode.ARRAY_SIZE_ERR, src.here())")
+            if decl.where is not None:
+                with w.block("if (int(mask.level) & 4) and pd.nerr == 0:"):
+                    w.w("_length = len(elts)")
+                    self._emit_bool_check(w, decl.where, ascope,
+                                          "pd.record_error(ErrCode."
+                                          "WHERE_CLAUSE_VIOLATION, src.here())")
+            w.w("return elts, pd")
+        w.w()
+        self._emit_array_write(w, decl)
+        self._emit_array_verify(w, decl)
+        with w.block(f"def {name}_default({self.params_sig(decl).lstrip(', ')}):"):
+            w.w("return []")
+        w.w()
+
+    def _emit_array_write(self, w: _W, decl: D.ArrayDecl) -> None:
+        name = decl.name
+        scope = self.params_scope(decl)
+        with w.block(f"def {name}_write(rep, out{self.params_sig(decl)}):"):
+            w.w(f'"""Append {name}\'s physical form to ``out``."""')
+            self._emit_record_write_prologue(w, decl.is_record)
+            with w.block("for _i, _v in enumerate(rep):"):
+                if decl.sep is not None and decl.sep.kind in ("char", "string"):
+                    raw = self.const(repr(self.lit_bytes(decl.sep.value)))
+                    with w.block("if _i:"):
+                        w.w(f"out.append({raw})")
+                self.emit_use_write(w, decl.elt_type, "_v", dict(scope))
+            self._emit_record_write_epilogue(w, decl.is_record)
+        w.w()
+
+    def _emit_array_verify(self, w: _W, decl: D.ArrayDecl) -> None:
+        name = decl.name
+        scope = self.params_scope(decl)
+        ascope = dict(scope)
+        ascope["elts"] = "rep"
+        ascope["length"] = "len(rep)"
+        with w.block(f"def {name}_verify(rep{self.params_sig(decl)}):"):
+            with w.block("try:"):
+                lo = self.cexpr(decl.min_size, scope) if decl.min_size is not None else "None"
+                hi = self.cexpr(decl.max_size, scope) if decl.max_size is not None else "None"
+                w.w(f"_lo = {lo}")
+                w.w(f"_hi = {hi}")
+            with w.block("except Exception:"):
+                w.w("return False")
+            with w.block("if _lo is not None and len(rep) < int(_lo):"):
+                w.w("return False")
+            with w.block("if _hi is not None and len(rep) > int(_hi):"):
+                w.w("return False")
+            with w.block("for _v in rep:"):
+                sub = _W()
+                sub.depth = w.depth
+                self.emit_use_verify(sub, decl.elt_type, "_v", dict(scope))
+                if sub.lines:
+                    w.lines.extend(sub.lines)
+                else:
+                    w.w("pass")
+            if decl.where is not None:
+                self._emit_bool_check(w, decl.where, ascope, "return False")
+            w.w("return True")
+        w.w()
+
+    # -- Penum ----------------------------------------------------------------------
+
+    def emit_enum(self, w: _W, decl: D.EnumDecl) -> None:
+        name = decl.name
+        items = []
+        for pos, item in enumerate(decl.items):
+            code = item.value if item.value is not None else pos
+            phys = item.physical if item.physical is not None else item.name
+            items.append((item.name, code, phys))
+        ordered = sorted(items, key=lambda it: -len(it[2]))
+        fn = self._parse_header(w, decl)
+        with _Indent(w):
+            if not decl.is_record:
+                w.w(f'"""Parse one {name} literal (longest spelling wins)."""')
+                w.w("if mask is None: mask = Mask(P_CheckAndSet)")
+            w.w("pd = Pd()")
+            for lit, code, phys in ordered:
+                raw = self.const(repr(phys.encode(self.encoding)))
+                with w.block(f"if src.match_bytes({raw}):"):
+                    w.w(f"return E_{lit}, pd")
+            w.w("pd.record_error(ErrCode.INVALID_ENUM, src.here())")
+            w.w(f"return E_{items[0][0]}, pd")
+        w.w()
+        with w.block(f"def {name}_write(rep, out):"):
+            mapping = {lit: phys for lit, _, phys in items}
+            w.w(f"_phys = {mapping!r}.get(str(rep))")
+            with w.block("if _phys is None:"):
+                w.w(f"raise ValueError('%r is not a member of {name}' % (rep,))")
+            w.w(f"out.append(_phys.encode({self.encoding!r}))")
+        w.w()
+        with w.block(f"def {name}_verify(rep):"):
+            w.w(f"return str(rep) in {set(lit for lit, _, _ in items)!r}")
+        w.w()
+        with w.block(f"def {name}_default():"):
+            w.w(f"return E_{items[0][0]}")
+        w.w()
+
+    # -- Ptypedef --------------------------------------------------------------------
+
+    def emit_typedef(self, w: _W, decl: D.TypedefDecl) -> None:
+        name = decl.name
+        scope = self.params_scope(decl)
+        fn = self._parse_header(w, decl)
+        with _Indent(w):
+            if not decl.is_record:
+                w.w(f'"""Parse one {name} (constrained '
+                    f'{_type_label(decl.base)})."""')
+                w.w("if mask is None: mask = Mask(P_CheckAndSet)")
+            w.w("_tstart = src.pos")
+            self.emit_use_parse(w, decl.base, "mask", "_tv", "pd", dict(scope))
+            if decl.constraint is not None:
+                cscope = dict(scope)
+                cscope[decl.var] = "_tv"
+                with w.block("if (mask.base & 4) and pd.nerr == 0:"):
+                    self._emit_bool_check(
+                        w, decl.constraint, cscope,
+                        "pd.record_error(ErrCode.TYPEDEF_CONSTRAINT_VIOLATION, "
+                        "src.loc_from(_tstart))")
+            w.w("return _tv, pd")
+        w.w()
+        with w.block(f"def {name}_write(rep, out{self.params_sig(decl)}):"):
+            self.emit_use_write(w, decl.base, "rep", dict(scope))
+        w.w()
+        with w.block(f"def {name}_verify(rep{self.params_sig(decl)}):"):
+            self.emit_use_verify(w, decl.base, "rep", dict(scope))
+            if decl.constraint is not None:
+                cscope = dict(scope)
+                cscope[decl.var] = "rep"
+                self._emit_bool_check(w, decl.constraint, cscope, "return False")
+            w.w("return True")
+        w.w()
+        with w.block(f"def {name}_default({self.params_sig(decl).lstrip(', ')}):"):
+            w.w(f"return {self.use_default_expr(decl.base, dict(scope))}")
+        w.w()
+
+    # -- Figure 6 tool surface ----------------------------------------------------------
+
+    def emit_tool_surface(self, w: _W, decl: D.Decl) -> None:
+        name = decl.name
+        w.w()
+        with w.block(f"def {name}_m_init(flag=P_CheckAndSet):"):
+            w.w('"""Fresh mask tree (Figure 6: <type>_m_init)."""')
+            w.w("return Mask(flag)")
+        w.w()
+        with w.block(f"def {name}_read(pads_src, {self._mask_param(decl)}"
+                     f"{self.params_sig(decl)}):"):
+            w.w('"""Figure 6 naming alias for the parse function."""')
+            w.w(f"return {name}_parse(pads_src, mask"
+                + "".join(f", p_{p}" for _, p in decl.params) + ")")
+        w.w()
+        with w.block(f"def {name}_write2io(io, rep{self.params_sig(decl)}):"):
+            w.w('"""Write the physical form to a binary file object."""')
+            w.w("_out = []")
+            w.w(f"{name}_write(rep, _out"
+                + "".join(f", p_{p}" for _, p in decl.params) + ")")
+            w.w("data = b''.join(_out)")
+            w.w("io.write(data)")
+            w.w("return len(data)")
+        w.w()
+        with w.block(f"def {name}_fmt2io(io, rep, delims=('|',), "
+                     "date_format=None, mask=None):"):
+            w.w('"""Delimited formatting (Figure 6: <type>_fmt2io)."""')
+            w.w("from repro.tools.fmt import format_value")
+            w.w(f"text = format_value(_interp().node({name!r}), rep, "
+                "delims=delims, date_format=date_format, mask=mask)")
+            w.w("io.write(text.encode('utf-8'))")
+            w.w("return len(text)")
+        w.w()
+        with w.block(f"def {name}_write_xml_2io(io, rep, pd=None, "
+                     f"tag={decl.name!r}, indent=0):"):
+            w.w('"""Canonical XML output (Figure 6: <type>_write_xml_2io)."""')
+            w.w("from repro.tools.xml_out import to_xml")
+            w.w(f"text = to_xml(_interp().node({name!r}), rep, pd, tag, indent)")
+            w.w("io.write(text.encode('utf-8'))")
+            w.w("return len(text)")
+        w.w()
+        with w.block(f"def {name}_acc_init(tracked=1000):"):
+            w.w('"""Fresh accumulator (Figure 6: <type>_acc_init)."""')
+            w.w("from repro.tools.accum import Accumulator")
+            w.w(f"return Accumulator(_interp().node({name!r}), '<top>', tracked)")
+        w.w()
+        with w.block(f"def {name}_acc_add(acc, pd, rep):"):
+            w.w("acc.add(rep, pd)")
+        w.w()
+        with w.block(f"def {name}_acc_report(acc, prefix='<top>'):"):
+            w.w("return acc.full_report()")
+        w.w()
+        with w.block(f"def {name}_node_new(rep, pd=None, name={decl.name!r}):"):
+            w.w('"""Data-API root (Figure 6: <type>_node_new)."""')
+            w.w("from repro.tools.dataapi import PNode")
+            w.w(f"return PNode(_interp().node({name!r}), rep, pd, name)")
+        w.w()
+        with w.block(f"def {name}_node_kthChild(node, idx):"):
+            w.w('"""Data-API child access (Figure 6: node_kthChild)."""')
+            w.w("return node.kth_child(idx)")
+
+    def _emit_registry(self, w: _W) -> None:
+        w.w()
+        w.w()
+        with w.block("class _GenType:"):
+            w.w("__slots__ = ('parse', 'write', 'verify', 'default', "
+                "'params', 'is_record')")
+            with w.block("def __init__(self, parse, write, verify, default, "
+                         "params, is_record):"):
+                w.w("self.parse = parse")
+                w.w("self.write = write")
+                w.w("self.verify = verify")
+                w.w("self.default = default")
+                w.w("self.params = params")
+                w.w("self.is_record = is_record")
+        w.w()
+        w.w("TYPES = {")
+        with _Indent(w):
+            for decl in self.desc.decls:
+                if not isinstance(decl, D.Decl):
+                    continue
+                n = decl.name
+                params = [p for _, p in decl.params]
+                w.w(f"{n!r}: _GenType({n}_parse, {n}_write, {n}_verify, "
+                    f"{n}_default, {params!r}, {decl.is_record!r}),")
+        w.w("}")
+        src = self.desc.source
+        w.w(f"SOURCE_TYPE = {src.name!r}" if src is not None else "SOURCE_TYPE = None")
+
+
+def _member_label(item) -> str:
+    if isinstance(item, D.LiteralField):
+        return f"literal {item.literal.describe()}"
+    if isinstance(item, D.ComputeField):
+        return f"Pcompute {item.name}"
+    return f"field {item.name}"
+
+
+def _type_label(texpr: D.TypeExpr) -> str:
+    if isinstance(texpr, D.TypeRef):
+        return texpr.name
+    if isinstance(texpr, D.OptType):
+        return f"Popt {_type_label(texpr.inner)}"
+    return "Pre"
+
+
+def generate_source(desc: D.Description, ambient: str = "ascii",
+                    module_name: str = "pads_generated",
+                    source_text: str = "") -> str:
+    """Generate a standalone Python module from a checked description."""
+    return Emitter(desc, ambient, module_name, source_text).emit_module()

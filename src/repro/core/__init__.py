@@ -1,0 +1,33 @@
+"""Runtime core: IO, errors, masks, base types, combinators, API."""
+
+from .api import CompiledDescription, compile_description, compile_file
+from .errors import DescriptionError, ErrCode, Loc, PadsError, Pd, Pstate
+from .io import (
+    FixedWidthRecords,
+    LengthPrefixedRecords,
+    NewlineRecords,
+    NoRecords,
+    Source,
+)
+from .masks import (
+    Mask,
+    MaskFlag,
+    P_Check,
+    P_CheckAndSet,
+    P_Ignore,
+    P_SemCheck,
+    P_Set,
+    P_SynCheck,
+    mask_init,
+)
+from .values import DateVal, EnumVal, Rec, UnionVal
+
+__all__ = [
+    "CompiledDescription", "compile_description", "compile_file",
+    "DescriptionError", "ErrCode", "Loc", "PadsError", "Pd", "Pstate",
+    "FixedWidthRecords", "LengthPrefixedRecords", "NewlineRecords",
+    "NoRecords", "Source",
+    "Mask", "MaskFlag", "P_Check", "P_CheckAndSet", "P_Ignore",
+    "P_SemCheck", "P_Set", "P_SynCheck", "mask_init",
+    "DateVal", "EnumVal", "Rec", "UnionVal",
+]

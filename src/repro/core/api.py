@@ -1,0 +1,185 @@
+"""High-level user API: compile descriptions, parse data, write it back.
+
+The paper's workflow is: write a description, run the PADS compiler, link
+against the generated library.  The Python analogue is one call::
+
+    from repro import compile_description
+    clf = compile_description(CLF_SOURCE)
+    rep, pd = clf.parse(data, "entry_t")
+
+The returned :class:`CompiledDescription` exposes the generated-library
+surface: parsing with masks and parse descriptors, multiple entry points
+(whole source / record at a time / array element at a time), writing,
+verification and random data generation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional, Tuple, Union
+
+from ..dsl import ast as D
+from ..dsl.parser import parse_description
+from ..dsl.typecheck import check_description
+from ..expr.eval import Env
+from .binding import BoundDescription, bind_description
+from .errors import ErrCode, PadsError, Pd
+from .io import NewlineRecords, RecordDiscipline, Source
+from .masks import Mask, P_CheckAndSet
+from .types import ArrayNode, PType, RecordNode
+
+Data = Union[bytes, str, Source]
+
+
+class CompiledDescription:
+    """A compiled PADS description: the Python stand-in for the paper's
+    generated ``.h``/``.c`` library."""
+
+    def __init__(self, bound: BoundDescription,
+                 discipline: Optional[RecordDiscipline] = None):
+        self.bound = bound
+        self.desc = bound.desc
+        self.ambient = bound.ambient
+        self.discipline = discipline or NewlineRecords()
+        bound.global_env.vars["_pads_discipline"] = self.discipline
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def type_names(self):
+        return list(self.bound.nodes)
+
+    @property
+    def source_type(self) -> str:
+        return self.bound.source_name
+
+    def node(self, name: Optional[str] = None) -> PType:
+        if name is None:
+            return self.bound.source_node
+        return self.bound.node(name)
+
+    @property
+    def env(self) -> Env:
+        return self.bound.global_env
+
+    # -- sources ------------------------------------------------------------------
+
+    def open(self, data: Data) -> Source:
+        if isinstance(data, Source):
+            return data
+        if isinstance(data, str):
+            data = data.encode("latin-1")
+        return Source.from_bytes(data, self.discipline)
+
+    def open_file(self, path: str) -> Source:
+        return Source.from_file(path, self.discipline)
+
+    # -- parsing entry points --------------------------------------------------------
+
+    def parse(self, data: Data, type_name: Optional[str] = None,
+              mask: Optional[Mask] = None) -> Tuple[object, Pd]:
+        """Parse one value of ``type_name`` (default: the Psource type)."""
+        if isinstance(type_name, Mask):  # allow parse(data, mask)
+            type_name, mask = None, type_name
+        src = self.open(data)
+        node = self.node(type_name)
+        return node.parse(src, mask or Mask(P_CheckAndSet), self.env)
+
+    def parse_source(self, data: Data, mask: Optional[Mask] = None):
+        return self.parse(data, None, mask)
+
+    def records(self, data: Data, type_name: str,
+                mask: Optional[Mask] = None) -> Iterator[Tuple[object, Pd]]:
+        """Record-at-a-time entry point (paper Section 4).
+
+        Repeatedly parses ``type_name`` until end of input.  The type need
+        not be declared ``Precord``; when it isn't, each iteration opens a
+        record scope around it, matching how the paper's loop in Figure 7
+        drives ``entry_t_read``.
+        """
+        src = self.open(data)
+        node = self.node(type_name)
+        use_mask = mask or Mask(P_CheckAndSet)
+        wrapped = node if isinstance(node, RecordNode) else RecordNode(node)
+        while not src.at_eof():
+            rep, pd = wrapped.parse(src, use_mask, self.env)
+            if pd.err_code == ErrCode.AT_EOF:
+                return
+            yield rep, pd
+
+    def array_elements(self, data: Data, type_name: str,
+                       mask: Optional[Mask] = None):
+        """Element-at-a-time reading of a Parray type (paper Section 4)."""
+        node = self.node(type_name)
+        inner = node.inner if isinstance(node, RecordNode) else node
+        if not isinstance(inner, ArrayNode):
+            raise PadsError(f"{type_name} is not a Parray")
+        src = self.open(data)
+        yield from inner.parse_elements(src, mask or Mask(P_CheckAndSet), self.env)
+
+    def count_records(self, data: Data) -> int:
+        """Count records using only the record discipline (no field
+        parsing) — the analogue of the paper's record-counting program."""
+        src = self.open(data)
+        count = 0
+        while src.begin_record():
+            src.end_record()
+            count += 1
+        return count
+
+    # -- writing -------------------------------------------------------------------
+
+    def write(self, rep, type_name: Optional[str] = None) -> bytes:
+        """Render ``rep`` back into its physical form (``write2io``)."""
+        node = self.node(type_name)
+        out = []
+        node.write(rep, out, self.env)
+        return b"".join(out)
+
+    # -- verification / generation ------------------------------------------------------
+
+    def verify(self, rep, type_name: Optional[str] = None) -> bool:
+        """Re-check semantic constraints on an in-memory value
+        (``entry_t_verify`` in the paper's Figure 7)."""
+        return self.node(type_name).verify(rep, self.env)
+
+    def default(self, type_name: Optional[str] = None):
+        return self.node(type_name).default(self.env)
+
+    def generate(self, type_name: Optional[str] = None,
+                 rng: Optional[random.Random] = None):
+        """Generate a random in-memory value conforming to the type."""
+        return self.node(type_name).generate(rng or random.Random(), self.env)
+
+    def generate_bytes(self, type_name: Optional[str] = None,
+                       rng: Optional[random.Random] = None) -> bytes:
+        """Generate random *data* conforming to the type."""
+        rep = self.generate(type_name, rng)
+        return self.write(rep, type_name)
+
+
+def compile_description(text: str, *, ambient: str = "ascii",
+                        discipline: Optional[RecordDiscipline] = None,
+                        filename: str = "<description>",
+                        check: bool = True,
+                        base_type_files: Optional[list] = None) -> CompiledDescription:
+    """Parse, typecheck and bind a PADS description.
+
+    ``ambient`` selects the ambient coding ('ascii', 'binary', 'ebcdic');
+    ``discipline`` the record discipline (newline-terminated by default,
+    as in the paper); ``base_type_files`` lists user base-type
+    specification files to load first (paper Section 6).
+    """
+    if base_type_files:
+        from .basetypes.userdef import load_base_type_files
+        load_base_type_files(base_type_files)
+    desc = parse_description(text, filename)
+    if check:
+        check_description(desc, ambient)
+    bound = bind_description(desc, ambient)
+    return CompiledDescription(bound, discipline)
+
+
+def compile_file(path: str, **kwargs) -> CompiledDescription:
+    with open(path, "r", encoding="utf-8") as handle:
+        return compile_description(handle.read(), filename=path, **kwargs)

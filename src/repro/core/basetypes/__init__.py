@@ -1,0 +1,30 @@
+"""The PADS base-type library.
+
+The paper ships ``Puint8`` .. ``Puint64``, ``Pint*``, strings, chars,
+dates, IP addresses and friends, each available in ASCII (``Pa_``),
+binary (``Pb_``) and EBCDIC (``Pe_``) codings, with the bare names
+resolved through the *ambient* coding (Section 3).  Users can register
+their own base types; the registry here is the Python analogue of the
+paper's base-type specification files (Section 6).
+"""
+
+from .base import (
+    AMBIENT_ASCII,
+    AMBIENT_BINARY,
+    AMBIENT_EBCDIC,
+    BaseType,
+    UnknownBaseType,
+    base_type_names,
+    is_base_type,
+    register_base_type,
+    resolve_base_type,
+)
+from . import integers, strings, temporal, network, cobol, misc  # noqa: F401  (registration side effects)
+from .userdef import load_base_type_file, load_base_type_files
+
+__all__ = [
+    "AMBIENT_ASCII", "AMBIENT_BINARY", "AMBIENT_EBCDIC",
+    "BaseType", "UnknownBaseType", "base_type_names", "is_base_type",
+    "register_base_type", "resolve_base_type",
+    "load_base_type_file", "load_base_type_files",
+]

@@ -1,0 +1,173 @@
+"""Cobol-legacy base types: packed and zoned decimals.
+
+The Altair feeds in the paper arrive in "various Cobol data formats"
+(Figure 1), and Section 5.2 describes a tool translating Cobol copybooks
+into PADS descriptions.  The two numeric encodings every copybook needs:
+
+* **packed decimal** (``COMP-3``): two BCD digits per byte with a sign
+  nibble (0xC positive, 0xD negative, 0xF unsigned) in the low half of the
+  final byte;
+* **zoned decimal** (``PIC S9(n) DISPLAY`` in EBCDIC): one digit per byte
+  with the sign overpunched onto the final digit's zone nibble.
+
+Both are parameterised by digit count; values with an implied decimal
+point scale by ``10**-d`` (the copybook translator passes the scale).
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from ..errors import ErrCode
+from ..io import Source
+from .base import BaseType, register_base_type
+
+
+def _scale(value: int, decimals: int):
+    if decimals == 0:
+        return value
+    scaled = Fraction(value, 10 ** decimals)
+    return float(scaled)
+
+
+def _unscale(value, decimals: int) -> int:
+    if decimals == 0:
+        return int(value)
+    return round(float(value) * 10 ** decimals)
+
+
+class PackedDecimal(BaseType):
+    """``Pbcd_FW(:digits[, decimals]:)`` — COMP-3 packed decimal."""
+
+    kind = "int"
+
+    def __init__(self, digits, decimals=0):
+        self.digits = int(digits)
+        self.decimals = int(decimals)
+        if self.digits <= 0:
+            raise ValueError("digit count must be positive")
+        # digits + sign nibble, rounded up to whole bytes.
+        self.nbytes = (self.digits + 2) // 2
+        if self.decimals:
+            self.kind = "float"
+
+    def parse(self, src: Source, sem_check: bool):
+        start = src.pos
+        raw = src.take(self.nbytes)
+        if len(raw) < self.nbytes:
+            src.pos = start
+            return self.default(), ErrCode.WIDTH_NOT_AVAILABLE
+        nibbles = []
+        for b in raw:
+            nibbles.append(b >> 4)
+            nibbles.append(b & 0x0F)
+        sign_nibble = nibbles[-1]
+        digit_nibbles = nibbles[:-1]
+        # Skip a leading pad nibble when the digit count is even.
+        if len(digit_nibbles) > self.digits:
+            digit_nibbles = digit_nibbles[-self.digits:]
+        if sign_nibble not in (0x0C, 0x0D, 0x0F) or any(n > 9 for n in digit_nibbles):
+            src.pos = start
+            return self.default(), ErrCode.INVALID_BCD
+        value = 0
+        for n in digit_nibbles:
+            value = value * 10 + n
+        if sign_nibble == 0x0D:
+            value = -value
+        return _scale(value, self.decimals), ErrCode.NO_ERR
+
+    def write(self, value) -> bytes:
+        magnitude = _unscale(value, self.decimals)
+        sign = 0x0C if magnitude >= 0 else 0x0D
+        magnitude = abs(magnitude)
+        text = str(magnitude).rjust(self.digits, "0")
+        if len(text) > self.digits:
+            raise ValueError(f"{value} does not fit in {self.digits} BCD digits")
+        nibbles = [int(c) for c in text] + [sign]
+        if len(nibbles) % 2:
+            nibbles.insert(0, 0)
+        out = bytearray()
+        for i in range(0, len(nibbles), 2):
+            out.append((nibbles[i] << 4) | nibbles[i + 1])
+        return bytes(out)
+
+    def default(self):
+        return 0.0 if self.decimals else 0
+
+    def generate(self, rng: random.Random):
+        magnitude = rng.randint(0, 10 ** self.digits - 1)
+        if rng.random() < 0.2:
+            magnitude = -magnitude
+        return _scale(magnitude, self.decimals)
+
+
+class ZonedDecimal(BaseType):
+    """``Pzoned_FW(:digits[, decimals]:)`` — EBCDIC zoned decimal."""
+
+    kind = "int"
+
+    # EBCDIC overpunch: zone 0xC (positive) / 0xD (negative) on final digit.
+    _POS_ZONE = 0xC0
+    _NEG_ZONE = 0xD0
+    _DIGIT_ZONE = 0xF0
+
+    def __init__(self, digits, decimals=0):
+        self.digits = int(digits)
+        self.decimals = int(decimals)
+        if self.digits <= 0:
+            raise ValueError("digit count must be positive")
+        if self.decimals:
+            self.kind = "float"
+
+    def parse(self, src: Source, sem_check: bool):
+        start = src.pos
+        raw = src.take(self.digits)
+        if len(raw) < self.digits:
+            src.pos = start
+            return self.default(), ErrCode.WIDTH_NOT_AVAILABLE
+        value = 0
+        negative = False
+        for i, b in enumerate(raw):
+            zone, digit = b & 0xF0, b & 0x0F
+            if digit > 9:
+                src.pos = start
+                return self.default(), ErrCode.INVALID_BCD
+            last = i == len(raw) - 1
+            if zone == self._DIGIT_ZONE:
+                pass
+            elif last and zone == self._POS_ZONE:
+                pass
+            elif last and zone == self._NEG_ZONE:
+                negative = True
+            else:
+                src.pos = start
+                return self.default(), ErrCode.INVALID_BCD
+            value = value * 10 + digit
+        if negative:
+            value = -value
+        return _scale(value, self.decimals), ErrCode.NO_ERR
+
+    def write(self, value) -> bytes:
+        magnitude = _unscale(value, self.decimals)
+        negative = magnitude < 0
+        text = str(abs(magnitude)).rjust(self.digits, "0")
+        if len(text) > self.digits:
+            raise ValueError(f"{value} does not fit in {self.digits} zoned digits")
+        out = bytearray(self._DIGIT_ZONE | int(c) for c in text)
+        zone = self._NEG_ZONE if negative else self._POS_ZONE
+        out[-1] = zone | (out[-1] & 0x0F)
+        return bytes(out)
+
+    def default(self):
+        return 0.0 if self.decimals else 0
+
+    def generate(self, rng: random.Random):
+        magnitude = rng.randint(0, 10 ** self.digits - 1)
+        if rng.random() < 0.2:
+            magnitude = -magnitude
+        return _scale(magnitude, self.decimals)
+
+
+register_base_type("Pbcd_FW", lambda *a: PackedDecimal(*a), min_args=1, max_args=2)
+register_base_type("Pzoned_FW", lambda *a: ZonedDecimal(*a), min_args=1, max_args=2)

@@ -1,0 +1,176 @@
+"""Network-flavoured base types: ``Pip``, ``Phostname``, ``Pzip``, ``Ppn``.
+
+``client_t`` in the paper's Figure 4 is a union of ``Pip`` and
+``Phostname``; parsing tries the IP first, so the hostname branch only
+fires for names containing a letter, which matches how the two types are
+defined here.  ``Pzip`` and phone numbers appear in the Sirius description
+(Figure 5).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import ErrCode
+from ..io import Source
+from .base import (
+    AMBIENT_ASCII,
+    AMBIENT_BINARY,
+    AMBIENT_EBCDIC,
+    BaseType,
+    register_ambient_alias,
+    register_base_type,
+)
+
+_DIGITS = frozenset(b"0123456789")
+_HOST_CHARS = frozenset(b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789.-")
+
+
+class Ipv4(BaseType):
+    """Dotted-quad IPv4 address, each octet 0-255."""
+
+    kind = "ip"
+
+    def parse(self, src: Source, sem_check: bool):
+        start = src.pos
+        octets = []
+        for i in range(4):
+            digits = src.take_span(_DIGITS)
+            if not digits or len(digits) > 3:
+                src.pos = start
+                return self.default(), ErrCode.INVALID_IP
+            value = int(digits)
+            if value > 255:
+                src.pos = start
+                return self.default(), ErrCode.INVALID_IP
+            octets.append(value)
+            if i < 3:
+                if src.peek(1) != b".":
+                    src.pos = start
+                    return self.default(), ErrCode.INVALID_IP
+                src.skip(1)
+        # Reject when the address runs into more host-name characters
+        # ("1.2.3.4x" or "1.2.3.4.example.com" are hostnames, not IPs).
+        nxt = src.peek(1)
+        if nxt and nxt[0] in _HOST_CHARS:
+            src.pos = start
+            return self.default(), ErrCode.INVALID_IP
+        return ".".join(map(str, octets)), ErrCode.NO_ERR
+
+    def write(self, value) -> bytes:
+        return str(value).encode("ascii")
+
+    def default(self):
+        return "0.0.0.0"
+
+    def generate(self, rng: random.Random):
+        return ".".join(str(rng.randint(0, 255)) for _ in range(4))
+
+
+class Hostname(BaseType):
+    """A dotted hostname; must contain at least one letter."""
+
+    kind = "string"
+
+    def parse(self, src: Source, sem_check: bool):
+        start = src.pos
+        raw = src.take_span(_HOST_CHARS)
+        if not raw:
+            return self.default(), ErrCode.INVALID_HOSTNAME
+        text = raw.decode("ascii")
+        if not any(c.isalpha() for c in text):
+            src.pos = start
+            return self.default(), ErrCode.INVALID_HOSTNAME
+        if text.startswith(".") or text.endswith("."):
+            src.pos = start
+            return self.default(), ErrCode.INVALID_HOSTNAME
+        return text, ErrCode.NO_ERR
+
+    def write(self, value) -> bytes:
+        return str(value).encode("ascii")
+
+    def default(self):
+        return ""
+
+    def generate(self, rng: random.Random):
+        labels = ["".join(rng.choice("abcdefghijklmnopqrstuvwxyz")
+                          for _ in range(rng.randint(2, 8)))
+                  for _ in range(rng.randint(2, 3))]
+        labels.append(rng.choice(["com", "net", "org", "edu"]))
+        return ".".join(labels)
+
+
+class ZipCode(BaseType):
+    """US ZIP: five digits, optionally ``-`` and four more."""
+
+    kind = "string"
+
+    def parse(self, src: Source, sem_check: bool):
+        start = src.pos
+        digits = src.take_span(_DIGITS)
+        if len(digits) != 5:
+            src.pos = start
+            return self.default(), ErrCode.INVALID_ZIP
+        text = digits.decode("ascii")
+        if src.peek(1) == b"-":
+            mark = src.pos
+            src.skip(1)
+            plus4 = src.take_span(_DIGITS)
+            if len(plus4) == 4:
+                text += "-" + plus4.decode("ascii")
+            else:
+                src.pos = mark
+        return text, ErrCode.NO_ERR
+
+    def write(self, value) -> bytes:
+        return str(value).encode("ascii")
+
+    def default(self):
+        return "00000"
+
+    def generate(self, rng: random.Random):
+        return f"{rng.randint(0, 99999):05d}"
+
+
+class PhoneNumber(BaseType):
+    """``Ppn`` — a North American phone number as a run of 10 digits.
+
+    The Sirius data stores phone numbers as plain digit runs (Figure 3:
+    ``9735551212``); a zero stands for "unavailable", which the paper's
+    normalisation example converts to the missing representation.
+    """
+
+    kind = "int"
+
+    def parse(self, src: Source, sem_check: bool):
+        digits = src.take_span(_DIGITS)
+        if not digits:
+            return self.default(), ErrCode.INVALID_INT
+        value = int(digits)
+        if sem_check and len(digits) not in (1, 10):
+            # Allow the single digit 0 ("no number") and full 10-digit numbers.
+            return value, ErrCode.RANGE_ERR
+        return value, ErrCode.NO_ERR
+
+    def write(self, value) -> bytes:
+        value = int(value)
+        if value == 0:
+            return b"0"
+        return str(value).encode("ascii")
+
+    def default(self):
+        return 0
+
+    def generate(self, rng: random.Random):
+        return rng.randint(2_000_000_000, 9_999_999_999)
+
+
+def _register() -> None:
+    for name, cls in (("Pip", Ipv4), ("Phostname", Hostname), ("Pzip", ZipCode),
+                      ("Ppn", PhoneNumber)):
+        register_base_type(f"Pa_{name[1:]}", cls)
+        for ambient in (AMBIENT_ASCII, AMBIENT_BINARY, AMBIENT_EBCDIC):
+            register_ambient_alias(name, ambient, f"Pa_{name[1:]}")
+
+
+_register()

@@ -1,0 +1,85 @@
+"""User-defined base types loaded from specification files (paper §6).
+
+"To make the collection of base types user-extensible, the compiler reads
+all base type specifications from files.  At compile time, the user can
+provide a list of such files to augment the provided base types."
+
+A specification file here is a Python module that defines base types and
+registers them.  It is executed with the registration helpers already in
+scope, so a minimal file is::
+
+    class Severity(BaseType):
+        kind = "string"
+        LEVELS = [b"DEBUG", b"INFO", b"WARN", b"ERROR", b"FATAL"]
+
+        def parse(self, src, sem_check):
+            for level in self.LEVELS:
+                if src.match_bytes(level):
+                    return level.decode(), ErrCode.NO_ERR
+            return self.default(), ErrCode.INVALID_ENUM
+
+        def write(self, value):
+            return str(value).encode()
+
+        def default(self):
+            return "INFO"
+
+        def generate(self, rng):
+            return rng.choice(self.LEVELS).decode()
+
+    register_base_type("Pseverity", Severity)
+
+Loaded types participate in everything — descriptions, the typechecker's
+arity table, generated parsers, accumulators — because they enter the
+same registry as the built-ins.
+"""
+
+from __future__ import annotations
+
+import random  # noqa: F401  (convenience for specification files)
+from typing import Iterable
+
+from ..errors import ErrCode, PadsError
+from ..io import Source
+from .base import (
+    BaseType,
+    register_ambient_alias,
+    register_base_type,
+)
+
+_LOADED: set = set()
+
+
+def load_base_type_file(path: str, *, force: bool = False) -> None:
+    """Execute one base-type specification file.
+
+    Files are idempotent by path: loading twice is a no-op unless
+    ``force`` is set (re-registration overwrites, which is the documented
+    way to iterate on a type).
+    """
+    import os
+    key = os.path.abspath(path)
+    if key in _LOADED and not force:
+        return
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    namespace = {
+        "BaseType": BaseType,
+        "ErrCode": ErrCode,
+        "Source": Source,
+        "register_base_type": register_base_type,
+        "register_ambient_alias": register_ambient_alias,
+        "random": random,
+        "__name__": f"pads_base_types:{path}",
+        "__file__": path,
+    }
+    try:
+        exec(compile(source, path, "exec"), namespace)  # noqa: S102
+    except Exception as exc:
+        raise PadsError(f"error loading base-type file {path}: {exc}") from exc
+    _LOADED.add(key)
+
+
+def load_base_type_files(paths: Iterable[str]) -> None:
+    for path in paths:
+        load_base_type_file(path)

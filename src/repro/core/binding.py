@@ -1,0 +1,166 @@
+"""Bind a type-checked description AST to runtime type nodes.
+
+Binding builds one :class:`~repro.core.types.PType` node per declaration,
+in declaration order (legal because PADS types are declared before use),
+along with the *global environment* holding user helper functions, enum
+literal values and the expression builtins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..dsl import ast as D
+from ..expr import ast as E
+from ..expr.eval import Env
+from .basetypes.base import resolve_base_type
+from .basetypes.strings import RegexMatchString
+from .errors import PadsError
+from .types import (
+    AppNode,
+    ArrayNode,
+    BaseNode,
+    EnumNode,
+    LiteralNode,
+    OptNode,
+    PType,
+    RecordNode,
+    StructField,
+    StructNode,
+    SwitchCaseRT,
+    SwitchUnionNode,
+    TypedefNode,
+    UnionBranch,
+    UnionNode,
+)
+
+_ENCODINGS = {"ascii": "latin-1", "binary": "latin-1", "ebcdic": "cp037"}
+
+
+class BoundDescription:
+    """The result of binding: runtime nodes plus the global environment."""
+
+    def __init__(self, desc: D.Description, ambient: str):
+        self.desc = desc
+        self.ambient = ambient
+        self.encoding = _ENCODINGS[ambient]
+        self.nodes: Dict[str, PType] = {}
+        self.params: Dict[str, List[str]] = {}
+        self.global_env = Env({})
+        self.source_name: Optional[str] = None
+        self._bind()
+
+    # -- lookup ----------------------------------------------------------------
+
+    def node(self, name: str) -> PType:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise PadsError(f"no type named {name!r} in description") from None
+
+    @property
+    def source_node(self) -> PType:
+        if self.source_name is None:
+            raise PadsError("description has no source type")
+        return self.nodes[self.source_name]
+
+    # -- binding ----------------------------------------------------------------
+
+    def _bind(self) -> None:
+        for decl in self.desc.decls:
+            if isinstance(decl, D.FuncDecl):
+                self.global_env.funcs[decl.name] = decl.func
+                continue
+            node = self._bind_decl(decl)
+            if decl.is_record:
+                node = RecordNode(node)
+            self.nodes[decl.name] = node
+            self.params[decl.name] = [p for _, p in decl.params]
+        src = self.desc.source
+        if src is not None:
+            self.source_name = src.name
+
+    def _literal(self, spec: D.LiteralSpec) -> LiteralNode:
+        return LiteralNode(spec.kind, spec.value, self.encoding)
+
+    def _type(self, texpr: D.TypeExpr) -> PType:
+        if isinstance(texpr, D.OptType):
+            return OptNode(self._type(texpr.inner))
+        if isinstance(texpr, D.RegexType):
+            pattern = texpr.pattern
+            return BaseNode(f'Pre "{pattern}"',
+                            lambda args, p=pattern: RegexMatchString(p), ())
+        assert isinstance(texpr, D.TypeRef)
+        name, args = texpr.name, texpr.args
+        if name in self.nodes:
+            decl_node = self.nodes[name]
+            pnames = self.params[name]
+            if pnames:
+                return AppNode(name, decl_node, pnames, args, self.global_env)
+            return decl_node
+        ambient = self.ambient
+        return BaseNode(name,
+                        lambda a, n=name, amb=ambient: resolve_base_type(n, a, amb),
+                        args)
+
+    def _bind_decl(self, decl: D.Decl) -> PType:
+        if isinstance(decl, D.BitfieldsDecl):
+            decl = D.lower_bitfields(decl)
+        if isinstance(decl, D.StructDecl):
+            fields = []
+            for item in decl.items:
+                if isinstance(item, D.LiteralField):
+                    fields.append(StructField("literal", node=self._literal(item.literal)))
+                elif isinstance(item, D.ComputeField):
+                    fields.append(StructField("compute", name=item.name,
+                                              expr=item.expr,
+                                              constraint=item.constraint))
+                else:
+                    fields.append(StructField("data", name=item.name,
+                                              node=self._type(item.type),
+                                              constraint=item.constraint))
+            return StructNode(decl.name, fields, decl.where)
+
+        if isinstance(decl, D.UnionDecl):
+            if decl.is_switched:
+                cases = [SwitchCaseRT(c.value, c.field.name,
+                                      self._type(c.field.type),
+                                      c.field.constraint)
+                         for c in decl.cases]
+                return SwitchUnionNode(decl.name, decl.switch, cases)
+            branches = [UnionBranch(b.name, self._type(b.type), b.constraint)
+                        for b in decl.branches]
+            return UnionNode(decl.name, branches, decl.where)
+
+        if isinstance(decl, D.ArrayDecl):
+            return ArrayNode(
+                decl.name, self._type(decl.elt_type),
+                sep=self._literal(decl.sep) if decl.sep else None,
+                term=self._literal(decl.term) if decl.term else None,
+                min_size=decl.min_size, max_size=decl.max_size,
+                last=decl.last, ended=decl.ended, longest=decl.longest,
+                where=decl.where)
+
+        if isinstance(decl, D.EnumDecl):
+            items = []
+            for pos, item in enumerate(decl.items):
+                code = item.value if item.value is not None else pos
+                physical = item.physical if item.physical is not None else item.name
+                items.append((item.name, code, physical))
+            node = EnumNode(decl.name, items, self.encoding)
+            # Enum literals become global constants usable in constraints
+            # (`m == LINK` in the paper's chkVersion).
+            from .values import EnumVal
+            for name, code, physical in items:
+                self.global_env.vars[name] = EnumVal(name, code, physical)
+            return node
+
+        if isinstance(decl, D.TypedefDecl):
+            return TypedefNode(decl.name, self._type(decl.base),
+                               decl.var, decl.constraint)
+
+        raise PadsError(f"cannot bind declaration {decl!r}")
+
+
+def bind_description(desc: D.Description, ambient: str = "ascii") -> BoundDescription:
+    return BoundDescription(desc, ambient)

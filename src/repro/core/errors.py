@@ -1,0 +1,214 @@
+"""Error model for the PADS runtime.
+
+The generated C library in the paper returns, for every parse, a *parse
+descriptor* (``pd``) mirroring the shape of the parsed type.  Each pd node
+records the parse state (normal / partial / panicking), the number of errors
+detected in its subtree, the error code of the first detected error, and the
+location of that error (paper, Section 4 and Figure 6).
+
+This module defines the Python equivalents: :class:`ErrCode`, :class:`Loc`,
+:class:`Pstate` and the :class:`Pd` tree.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class ErrCode(enum.IntEnum):
+    """Error codes reported in parse descriptors.
+
+    The numbering groups codes the same way the C runtime does: 0 is
+    success, 1xx are system/IO errors, 2xx are syntactic errors, 3xx are
+    semantic (user-constraint) errors, and 4xx are structural errors raised
+    by compound types.
+    """
+
+    NO_ERR = 0
+
+    # System errors (file, buffer, socket).
+    IO_ERR = 100
+    AT_EOF = 101
+    AT_EOR = 102
+    RECORD_TOO_SHORT = 103
+    BAD_RECORD = 104
+
+    # Syntactic errors.
+    MISSING_LITERAL = 200
+    INVALID_CHAR = 201
+    INVALID_INT = 202
+    RANGE_ERR = 203
+    INVALID_STRING = 204
+    INVALID_DATE = 205
+    INVALID_IP = 206
+    INVALID_HOSTNAME = 207
+    INVALID_ZIP = 208
+    INVALID_FLOAT = 209
+    INVALID_BCD = 210
+    REGEXP_NO_MATCH = 211
+    INVALID_ENUM = 212
+    WIDTH_NOT_AVAILABLE = 213
+
+    # Semantic errors.
+    USER_CONSTRAINT_VIOLATION = 300
+    TYPEDEF_CONSTRAINT_VIOLATION = 301
+    WHERE_CLAUSE_VIOLATION = 302
+
+    # Structural errors.
+    UNION_MATCH_FAILURE = 400
+    STRUCT_FIELD_ERR = 401
+    ARRAY_ELEM_ERR = 402
+    ARRAY_SEP_ERR = 403
+    ARRAY_TERM_ERR = 404
+    ARRAY_SIZE_ERR = 405
+    SWITCH_NO_CASE = 406
+    EXTRA_DATA_AT_EOR = 407
+    PANIC_SKIPPED = 408
+
+    def is_syntactic(self) -> bool:
+        return 100 <= int(self) < 300 or int(self) >= 400
+
+    def is_semantic(self) -> bool:
+        return 300 <= int(self) < 400
+
+
+class Pstate(enum.IntFlag):
+    """Parse state recorded in a pd node (paper: Normal, Partial, Panicking).
+
+    ``OK`` means the subtree parsed without error.  ``PARTIAL`` means errors
+    occurred but the parser resynchronised and continued.  ``PANIC`` means
+    the parser lost track of the input and skipped to a synchronisation
+    point (typically end-of-record).
+    """
+
+    OK = 0
+    PARTIAL = 1
+    PANIC = 2
+
+
+@dataclass(frozen=True)
+class Loc:
+    """A source location: byte offsets plus record/line coordinates.
+
+    ``offset`` and ``end`` are absolute byte offsets into the data source.
+    ``record`` is the 0-based index of the record being parsed (or -1 when
+    no record discipline is active).
+    """
+
+    offset: int = 0
+    end: int = 0
+    record: int = -1
+
+    def __str__(self) -> str:
+        if self.record >= 0:
+            return f"record {self.record}, bytes {self.offset}-{self.end}"
+        return f"bytes {self.offset}-{self.end}"
+
+
+class Pd:
+    """A parse-descriptor node.
+
+    Mirrors the generated ``_pd`` structs from the paper: every node carries
+    ``pstate``, ``nerr`` (number of errors detected in the subtree),
+    ``err_code`` (code of the first detected error) and ``loc`` (location of
+    that error).  Compound types attach child descriptors:
+
+    * ``fields`` — name -> child pd for Pstruct / switched-union branches,
+    * ``elts`` — list of element pds for Parray (plus ``neerr`` and
+      ``first_error`` summarising element errors),
+    * ``branch`` — the taken branch's pd for Punion / Popt.
+
+    Implementation note: one Pd is allocated per parsed position, so this
+    is a ``__slots__`` class with the child containers created lazily.
+    """
+
+    __slots__ = ("pstate", "nerr", "err_code", "loc", "_fields", "_elts",
+                 "branch", "tag", "neerr", "first_error")
+
+    def __init__(self, _ok=Pstate.OK, _no_err=ErrCode.NO_ERR):
+        # The enum defaults ride in as argument defaults: Pd construction is
+        # the single hottest allocation in parsing, and this avoids two
+        # global lookups per node.
+        self.pstate = _ok
+        self.nerr = 0
+        self.err_code = _no_err
+        self.loc: Optional[Loc] = None
+        self._fields: Optional[dict] = None
+        self._elts: Optional[list] = None
+        self.branch: Optional["Pd"] = None
+        self.tag: Optional[str] = None
+        # Parray summaries (paper's eventSeq_pd carries neerr / firstError).
+        self.neerr = 0
+        self.first_error = -1
+
+    @property
+    def fields(self) -> dict:
+        if self._fields is None:
+            self._fields = {}
+        return self._fields
+
+    @property
+    def elts(self) -> list:
+        if self._elts is None:
+            self._elts = []
+        return self._elts
+
+    def __repr__(self) -> str:
+        return (f"Pd(pstate={self.pstate!r}, nerr={self.nerr}, "
+                f"err_code={self.err_code!r}, loc={self.loc!r}, "
+                f"tag={self.tag!r})")
+
+    @property
+    def errors(self) -> bool:
+        return self.nerr > 0
+
+    def record_error(self, code: ErrCode, loc: Loc, *, panic: bool = False) -> None:
+        """Record one error at this node, keeping first-error semantics."""
+        if self.nerr == 0:
+            self.err_code = code
+            self.loc = loc
+        self.nerr += 1
+        if panic:
+            self.pstate |= Pstate.PANIC
+        else:
+            self.pstate |= Pstate.PARTIAL
+
+    def absorb(self, child: "Pd") -> None:
+        """Fold a child's error summary into this node."""
+        if child.nerr:
+            if self.nerr == 0:
+                self.err_code = child.err_code
+                self.loc = child.loc
+            self.nerr += child.nerr
+            self.pstate |= Pstate.PARTIAL
+            if child.pstate & Pstate.PANIC:
+                self.pstate |= Pstate.PANIC
+
+    def summary(self) -> str:
+        """One-line human-readable summary of this descriptor."""
+        if not self.nerr:
+            return "ok"
+        where = f" at {self.loc}" if self.loc is not None else ""
+        return f"{self.nerr} error(s), first {self.err_code.name}{where}"
+
+
+class PadsError(Exception):
+    """Base class for exceptions raised by the repro PADS system itself.
+
+    Note that *data* errors never raise — they are reported through parse
+    descriptors, as in the paper.  Exceptions are reserved for misuse of the
+    API, malformed descriptions, and I/O failures.
+    """
+
+
+class DescriptionError(PadsError):
+    """A PADS description is malformed (syntax or type error)."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        self.line = line
+        self.col = col
+        if line:
+            message = f"line {line}:{col}: {message}"
+        super().__init__(message)

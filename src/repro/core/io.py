@@ -1,0 +1,467 @@
+"""Input abstraction for the PADS runtime.
+
+The paper's runtime reads ad hoc data through SFIO with a pluggable notion
+of *record*: ASCII sources are typically newline-terminated, binary sources
+fixed-width, and Cobol sources length-prefixed (Section 3, "the notion of a
+record varies depending upon the data encoding").  This module provides:
+
+* :class:`RecordDiscipline` and its three standard implementations,
+* :class:`Source` — a buffered byte cursor over bytes or a binary stream,
+  supporting incremental reads (so multi-gigabyte files need never be fully
+  resident), record scoping, checkpoint/restore for union backtracking,
+  and bounded scanning used by error recovery.
+
+All reads are clamped to the current record when a record is open, so a
+panicking parser can never run past a record boundary.
+"""
+
+from __future__ import annotations
+
+import io as _stdio
+from typing import BinaryIO, Optional
+
+from .errors import Loc
+
+_CHUNK = 1 << 16
+
+
+class RecordDiscipline:
+    """Strategy for finding record boundaries.
+
+    ``bounds(src, pos)`` returns ``(content_start, content_end,
+    next_start)`` as absolute offsets — where the record's payload begins
+    (after any length prefix), where it ends, and where the next record
+    starts — or ``None`` when no complete record begins at ``pos`` (at end
+    of input).  Implementations may call ``src._ensure``/``src._find`` to
+    pull more data from the underlying stream.
+    """
+
+    name = "none"
+
+    def bounds(self, src: "Source", pos: int):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def trailer(self, content: bytes) -> bytes:
+        """Bytes to append after a record's payload when writing."""
+        return b""
+
+    def header(self, content: bytes) -> bytes:
+        """Bytes to prepend before a record's payload when writing."""
+        return b""
+
+
+class NewlineRecords(RecordDiscipline):
+    """Newline-terminated records (the paper's ASCII default).
+
+    A trailing ``\\r`` before the newline is treated as part of the record
+    terminator, so Windows-style data parses identically.
+    """
+
+    name = "newline"
+
+    def bounds(self, src: "Source", pos: int):
+        if not src._ensure(pos, 1):
+            return None
+        nl = src._find(b"\n", pos)
+        if nl < 0:
+            # Final record without trailing newline.
+            return pos, src._end(), src._end()
+        end = nl
+        if end > pos and src._byte_at(end - 1) == 0x0D:
+            end -= 1
+        return pos, end, nl + 1
+
+    def trailer(self, content: bytes) -> bytes:
+        return b"\n"
+
+
+class FixedWidthRecords(RecordDiscipline):
+    """Fixed-width records (typical for binary sources, paper Figure 1)."""
+
+    name = "fixed"
+
+    def __init__(self, width: int):
+        if width <= 0:
+            raise ValueError("record width must be positive")
+        self.width = width
+
+    def bounds(self, src: "Source", pos: int):
+        if not src._ensure(pos, 1):
+            return None
+        have = src._ensure_count(pos, self.width)
+        # A short final record is still surfaced; the parser will report
+        # RECORD_TOO_SHORT when it runs out of bytes.
+        return pos, pos + have, pos + have
+
+
+class LengthPrefixedRecords(RecordDiscipline):
+    """Records that store their payload length first (Cobol convention).
+
+    ``prefix`` is the width of the length field in bytes and ``byteorder``
+    its endianness.  ``inclusive`` indicates whether the stored length
+    counts the prefix itself.
+    """
+
+    name = "length-prefixed"
+
+    def __init__(self, prefix: int = 4, byteorder: str = "big", inclusive: bool = False):
+        if prefix not in (1, 2, 4, 8):
+            raise ValueError("prefix must be 1, 2, 4 or 8 bytes")
+        self.prefix = prefix
+        self.byteorder = byteorder
+        self.inclusive = inclusive
+
+    def bounds(self, src: "Source", pos: int):
+        if not src._ensure(pos, 1):
+            return None
+        if src._ensure_count(pos, self.prefix) < self.prefix:
+            # Garbage tail shorter than a prefix; surface as a short record.
+            return pos, src._end(), src._end()
+        raw = src._slice(pos, pos + self.prefix)
+        length = int.from_bytes(raw, self.byteorder)
+        if self.inclusive:
+            length = max(0, length - self.prefix)
+        start = pos + self.prefix
+        have = src._ensure_count(start, length)
+        return start, start + have, start + have
+
+    def header(self, content: bytes) -> bytes:
+        length = len(content) + (self.prefix if self.inclusive else 0)
+        return length.to_bytes(self.prefix, self.byteorder)
+
+
+class NoRecords(RecordDiscipline):
+    """No record structure: the whole source is one record."""
+
+    name = "none"
+
+    def bounds(self, src: "Source", pos: int):
+        if not src._ensure(pos, 1):
+            return None
+        src._read_all()
+        return pos, src._end(), src._end()
+
+
+class Source:
+    """A buffered cursor over a byte source with record scoping.
+
+    The cursor works in *absolute* byte offsets.  Data already consumed and
+    no longer reachable (behind every checkpoint and the current record) is
+    discarded from the internal buffer, which is what lets record-at-a-time
+    clients process sources much larger than memory — the multiple-entry-
+    point design from Section 4 of the paper.
+    """
+
+    def __init__(self, data: bytes | None = None, *, stream: Optional[BinaryIO] = None,
+                 discipline: Optional[RecordDiscipline] = None):
+        if (data is None) == (stream is None):
+            raise ValueError("provide exactly one of data or stream")
+        self._buf = bytearray(data or b"")
+        self._base = 0  # absolute offset of _buf[0]
+        self._stream = stream
+        self._eof = stream is None
+        self.pos = 0
+        self.discipline: RecordDiscipline = discipline or NewlineRecords()
+
+        self.in_record = False
+        self.record_idx = -1
+        self.rec_start = 0
+        self.rec_end = 0
+        self.rec_next = 0
+        self._checkpoints = 0
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_bytes(cls, data: bytes, discipline: Optional[RecordDiscipline] = None) -> "Source":
+        return cls(data, discipline=discipline)
+
+    @classmethod
+    def from_string(cls, text: str, discipline: Optional[RecordDiscipline] = None) -> "Source":
+        return cls(text.encode("utf-8"), discipline=discipline)
+
+    @classmethod
+    def from_file(cls, path: str, discipline: Optional[RecordDiscipline] = None) -> "Source":
+        return cls(stream=open(path, "rb"), discipline=discipline)
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+            self._eof = True
+
+    def __enter__(self) -> "Source":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- low-level buffer management ----------------------------------------
+
+    def _end(self) -> int:
+        """Absolute offset one past the last buffered byte."""
+        return self._base + len(self._buf)
+
+    def _fill(self, want: int) -> None:
+        """Read from the stream until ``want`` absolute bytes exist or EOF."""
+        while not self._eof and self._end() < want:
+            chunk = self._stream.read(max(_CHUNK, want - self._end()))
+            if not chunk:
+                self._eof = True
+                break
+            self._buf.extend(chunk)
+
+    def _read_all(self) -> None:
+        while not self._eof:
+            chunk = self._stream.read(_CHUNK)
+            if not chunk:
+                self._eof = True
+                break
+            self._buf.extend(chunk)
+
+    def _ensure(self, pos: int, n: int) -> bool:
+        """True iff at least ``n`` bytes exist starting at absolute ``pos``."""
+        self._fill(pos + n)
+        return self._end() >= pos + n
+
+    def _ensure_count(self, pos: int, n: int) -> int:
+        """Number of bytes (<= n) actually available at ``pos``."""
+        self._fill(pos + n)
+        return max(0, min(self._end() - pos, n))
+
+    def _byte_at(self, pos: int) -> int:
+        return self._buf[pos - self._base]
+
+    def _slice(self, start: int, end: int) -> bytes:
+        return bytes(self._buf[start - self._base:end - self._base])
+
+    def _find(self, needle: bytes, start: int, end: Optional[int] = None) -> int:
+        """Find ``needle`` at absolute offset >= start, pulling data as needed.
+
+        Returns the absolute offset or -1.  ``end`` (absolute, exclusive)
+        bounds the search when given.
+        """
+        search_from = start
+        while True:
+            hi = len(self._buf) if end is None else min(len(self._buf), end - self._base)
+            idx = self._buf.find(needle, search_from - self._base, hi)
+            if idx >= 0:
+                return idx + self._base
+            if self._eof or (end is not None and self._end() >= end):
+                return -1
+            # Re-scan the tail that could straddle the chunk boundary.
+            search_from = max(start, self._end() - len(needle) + 1)
+            before = self._end()
+            self._fill(self._end() + _CHUNK)
+            if self._end() == before:
+                return -1
+
+    def _trim(self) -> None:
+        """Discard buffered bytes behind the cursor when safe."""
+        if self._checkpoints:
+            return
+        keep_from = min(self.pos, self.rec_start if self.in_record else self.pos)
+        drop = keep_from - self._base
+        if drop > _CHUNK:
+            del self._buf[:drop]
+            self._base = keep_from
+
+    # -- limits --------------------------------------------------------------
+
+    def _limit(self) -> Optional[int]:
+        """Absolute offset parsing may not cross (record end), or None."""
+        return self.rec_end if self.in_record else None
+
+    def avail(self, n: int) -> int:
+        """Bytes available to the parser at the cursor, up to ``n``."""
+        limit = self._limit()
+        if limit is not None:
+            return max(0, min(limit - self.pos, n))
+        return self._ensure_count(self.pos, n)
+
+    # -- cursor primitives used by base types --------------------------------
+
+    def at_eof(self) -> bool:
+        if self.in_record:
+            return False
+        return not self._ensure(self.pos, 1)
+
+    def at_eor(self) -> bool:
+        return self.in_record and self.pos >= self.rec_end
+
+    def at_end(self) -> bool:
+        """At end of the current scope (record if open, else whole source)."""
+        return self.at_eor() if self.in_record else self.at_eof()
+
+    def peek(self, n: int = 1) -> bytes:
+        k = self.avail(n)
+        return self._slice(self.pos, self.pos + k)
+
+    def peek_byte(self) -> int:
+        b = self.peek(1)
+        return b[0] if b else -1
+
+    def first_byte(self) -> int:
+        """The byte at the cursor (or -1), without allocation — the hot
+        path for single-character literal matching in generated parsers."""
+        pos = self.pos
+        if self.in_record:
+            if pos >= self.rec_end:
+                return -1
+        elif not self._ensure(pos, 1):
+            return -1
+        return self._buf[pos - self._base]
+
+    def take(self, n: int) -> bytes:
+        k = self.avail(n)
+        out = self._slice(self.pos, self.pos + k)
+        self.pos += k
+        return out
+
+    def skip(self, n: int) -> int:
+        k = self.avail(n)
+        self.pos += k
+        return k
+
+    def match_bytes(self, lit: bytes) -> bool:
+        """Consume ``lit`` at the cursor if present."""
+        if self.peek(len(lit)) == lit:
+            self.pos += len(lit)
+            return True
+        return False
+
+    def scan_for(self, lit: bytes, max_scan: Optional[int] = None) -> int:
+        """Absolute offset of ``lit`` at/after the cursor within scope, or -1.
+
+        Does not move the cursor.  Used for literal resynchronisation and
+        array separator recovery.
+        """
+        end = self._limit()
+        if max_scan is not None:
+            cap = self.pos + max_scan
+            end = cap if end is None else min(end, cap)
+        return self._find(lit, self.pos, end)
+
+    def take_until(self, lit: bytes) -> Optional[bytes]:
+        """Consume and return bytes up to (not including) ``lit``.
+
+        Returns None when ``lit`` does not occur in scope; the cursor does
+        not move in that case.
+        """
+        idx = self.scan_for(lit)
+        if idx < 0:
+            return None
+        out = self._slice(self.pos, idx)
+        self.pos = idx
+        return out
+
+    def take_span(self, allowed: frozenset) -> bytes:
+        """Consume the maximal run of bytes whose values are in ``allowed``.
+
+        This is the hot path for ASCII integer and string base types, so it
+        works directly on the internal buffer in chunks instead of peeking
+        byte by byte.
+        """
+        start = self.pos
+        limit = self._limit()
+        while True:
+            hi = self._end() if limit is None else min(self._end(), limit)
+            i = self.pos - self._base
+            buf = self._buf
+            stop = hi - self._base
+            while i < stop and buf[i] in allowed:
+                i += 1
+            self.pos = i + self._base
+            if self.pos < hi or (limit is not None and self.pos >= limit):
+                break
+            if self._eof:
+                break
+            before = self._end()
+            self._fill(self._end() + _CHUNK)
+            if self._end() == before:
+                break
+        return self._slice(start, self.pos)
+
+    def take_rest(self) -> bytes:
+        """Consume everything to the end of the current scope."""
+        if self.in_record:
+            out = self._slice(self.pos, self.rec_end)
+            self.pos = self.rec_end
+            return out
+        self._read_all()
+        out = self._slice(self.pos, self._end())
+        self.pos = self._end()
+        return out
+
+    def scope_bytes(self) -> bytes:
+        """All remaining bytes in scope, without consuming (regex support)."""
+        if self.in_record:
+            return self._slice(self.pos, self.rec_end)
+        self._read_all()
+        return self._slice(self.pos, self._end())
+
+    # -- records ---------------------------------------------------------------
+
+    def begin_record(self) -> bool:
+        """Open a record at the cursor.  False at end of input.
+
+        Nested calls are not allowed; Precord types at nested positions
+        simply parse within the enclosing record (matching the C runtime,
+        where the record discipline lives in the IO stack).
+        """
+        if self.in_record:
+            return True
+        self._trim()
+        b = self.discipline.bounds(self, self.pos)
+        if b is None:
+            return False
+        self.rec_start, self.rec_end, self.rec_next = b
+        self.pos = self.rec_start
+        self.in_record = True
+        self.record_idx += 1
+        return True
+
+    def end_record(self) -> None:
+        """Close the current record and advance past its trailer."""
+        if not self.in_record:
+            return
+        self.pos = self.rec_next
+        self.in_record = False
+
+    def skip_to_eor(self) -> int:
+        """Panic recovery: jump to end-of-record.  Returns bytes skipped."""
+        if not self.in_record:
+            rest = self.take_rest()
+            return len(rest)
+        skipped = max(0, self.rec_end - self.pos)
+        self.pos = self.rec_end
+        return skipped
+
+    def record_bytes(self) -> bytes:
+        """The full payload of the current record."""
+        return self._slice(self.rec_start, self.rec_end)
+
+    # -- checkpoints -------------------------------------------------------------
+
+    def mark(self) -> tuple:
+        """Checkpoint the cursor (for Punion backtracking)."""
+        self._checkpoints += 1
+        return (self.pos, self.in_record, self.record_idx,
+                self.rec_start, self.rec_end, self.rec_next)
+
+    def restore(self, state: tuple) -> None:
+        (self.pos, self.in_record, self.record_idx,
+         self.rec_start, self.rec_end, self.rec_next) = state
+        self._checkpoints -= 1
+
+    def commit(self, state: tuple) -> None:
+        """Release a checkpoint without rewinding."""
+        self._checkpoints -= 1
+
+    # -- locations ------------------------------------------------------------------
+
+    def loc_from(self, start: int) -> Loc:
+        return Loc(start, self.pos, self.record_idx)
+
+    def here(self) -> Loc:
+        return Loc(self.pos, self.pos, self.record_idx)

@@ -1,0 +1,183 @@
+"""In-memory representations produced by parsing.
+
+The paper maps each PADS type onto a canonical C representation (Section
+4): structs to C structs, unions to tagged unions, arrays to length+data,
+enums to C enums.  The Python analogues:
+
+* :class:`Rec` — struct values with attribute access and field order,
+* :class:`UnionVal` — tagged union values,
+* ``list`` — arrays (``length`` is exposed to constraints by the
+  expression evaluator),
+* :class:`EnumVal` — a ``str`` subclass carrying the integer code, so
+  constraints may compare enum fields against literal names,
+* :class:`DateVal` — a parsed date: comparable epoch seconds plus the raw
+  text, so writing reproduces the original bytes.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Iterator, Optional
+
+
+class Rec:
+    """A struct value: ordered named fields with attribute access.
+
+    The keyword dict is adopted as the instance ``__dict__`` directly, so
+    construction is one pointer assignment and field reads are ordinary
+    C-speed attribute lookups — this type is instantiated once per parsed
+    struct, which makes it one of the hottest allocations in the system.
+    """
+
+    def __init__(self, **fields):
+        self.__dict__ = fields
+
+    def __getitem__(self, name: str):
+        return self.__dict__[name]
+
+    def __setitem__(self, name: str, value) -> None:
+        self.__dict__[name] = value
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.__dict__
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.__dict__)
+
+    def items(self):
+        return self.__dict__.items()
+
+    def keys(self):
+        return self.__dict__.keys()
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Rec):
+            return self.__dict__ == other.__dict__
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.__dict__.items())
+        return f"Rec({inner})"
+
+
+class UnionVal:
+    """A tagged union value: the branch name plus the branch value.
+
+    Attribute access by branch name projects the value (like C's
+    ``u.val.branch``); accessing a different branch raises, which surfaces
+    as a constraint-evaluation error rather than silently comparing
+    garbage.
+    """
+
+    __slots__ = ("tag", "value")
+
+    def __init__(self, tag: str, value):
+        object.__setattr__(self, "tag", tag)
+        object.__setattr__(self, "value", value)
+
+    def __getattr__(self, name: str):
+        if name == object.__getattribute__(self, "tag"):
+            return object.__getattribute__(self, "value")
+        raise AttributeError(
+            f"union holds {object.__getattribute__(self, 'tag')!r}, not {name!r}")
+
+    def __setattr__(self, name, value):
+        raise AttributeError("union values are immutable; build a new one")
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, UnionVal):
+            return self.tag == other.tag and self.value == other.value
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"UnionVal({self.tag!r}, {self.value!r})"
+
+
+class EnumVal(str):
+    """An enum value: compares as its literal name, carries the int code."""
+
+    def __new__(cls, name: str, code: int = 0, physical: Optional[str] = None):
+        self = super().__new__(cls, name)
+        self.code = code
+        self.physical = physical if physical is not None else name
+        return self
+
+    def __int__(self) -> int:
+        return self.code
+
+
+class FloatVal(float):
+    """A parsed float that remembers its physical spelling.
+
+    ``0``, ``0.0`` and ``0e0`` all parse to the same number; keeping the
+    raw text lets ``write`` reproduce the input byte-for-byte.  Behaves as
+    a plain float everywhere else.
+    """
+
+    def __new__(cls, value, raw: str = ""):
+        self = super().__new__(cls, value)
+        self.raw = raw or repr(float(value))
+        return self
+
+    def __repr__(self) -> str:
+        return f"FloatVal({float(self)!r}, {self.raw!r})"
+
+
+class DateVal:
+    """A parsed date: epoch seconds (UTC) plus the raw matched text."""
+
+    __slots__ = ("epoch", "raw")
+
+    def __init__(self, epoch: int, raw: str = ""):
+        self.epoch = int(epoch)
+        self.raw = raw or self.strftime("%Y-%m-%d %H:%M:%S")
+
+    @classmethod
+    def from_datetime(cls, dt: _dt.datetime, raw: str = "") -> "DateVal":
+        if dt.tzinfo is None:
+            dt = dt.replace(tzinfo=_dt.timezone.utc)
+        return cls(int(dt.timestamp()), raw)
+
+    def datetime(self) -> _dt.datetime:
+        return _dt.datetime.fromtimestamp(self.epoch, _dt.timezone.utc)
+
+    def strftime(self, fmt: str) -> str:
+        # Expand the C-library shorthands the paper's example uses ("%D:%T").
+        fmt = fmt.replace("%D", "%m/%d/%y").replace("%T", "%H:%M:%S")
+        return self.datetime().strftime(fmt)
+
+    def _key(self, other):
+        if isinstance(other, DateVal):
+            return other.epoch
+        if isinstance(other, (int, float)):
+            return other
+        return NotImplemented
+
+    def __eq__(self, other):
+        key = self._key(other)
+        return NotImplemented if key is NotImplemented else self.epoch == key
+
+    def __lt__(self, other):
+        key = self._key(other)
+        return NotImplemented if key is NotImplemented else self.epoch < key
+
+    def __le__(self, other):
+        key = self._key(other)
+        return NotImplemented if key is NotImplemented else self.epoch <= key
+
+    def __gt__(self, other):
+        key = self._key(other)
+        return NotImplemented if key is NotImplemented else self.epoch > key
+
+    def __ge__(self, other):
+        key = self._key(other)
+        return NotImplemented if key is NotImplemented else self.epoch >= key
+
+    def __hash__(self):
+        return hash(self.epoch)
+
+    def __repr__(self) -> str:
+        return f"DateVal({self.epoch}, {self.raw!r})"
+
+    def __str__(self) -> str:
+        return self.raw

@@ -1,0 +1,13 @@
+"""Front-end for the PADS description language.
+
+This package implements the concrete syntax from the paper (Figures 4-5):
+a lexer, a recursive-descent parser producing description ASTs, and a
+typechecker that resolves names, checks parameter arity and verifies that
+constraints only mention fields already in scope.
+"""
+
+from .lexer import Lexer, LexError, Token
+from .parser import parse_description
+from .typecheck import check_description
+
+__all__ = ["Lexer", "LexError", "Token", "parse_description", "check_description"]

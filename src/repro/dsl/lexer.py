@@ -1,0 +1,219 @@
+"""Lexer for the PADS description language.
+
+Tokenises the C-flavoured concrete syntax of the paper's Figures 4-5,
+including the PADS-specific pieces:
+
+* ``(:`` / ``:)`` type-parameter brackets (``Pstring(:' ':)``),
+* ``/-`` line comments (visible in Figure 4), alongside ``//`` and
+  ``/* ... */``,
+* ``..`` range dots (``[0..length-2]``),
+* ``=>`` used by ``Ptypedef`` constraints,
+* char/string literals with C escape sequences.
+
+Keywords are the P-constructs with grammatical meaning; base-type names
+like ``Puint32`` are plain identifiers resolved later against the
+base-type registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..core.errors import DescriptionError
+
+
+class LexError(DescriptionError):
+    pass
+
+
+KEYWORDS = {
+    "Pstruct", "Punion", "Parray", "Penum", "Popt", "Ptypedef", "Pbitfields",
+    "Precord", "Psource", "Pwhere", "Pforall", "Pexists", "Pin",
+    "Psep", "Pterm", "Plast", "Pended", "Plongest", "Pmin", "Pmax",
+    "Pswitch", "Pcase", "Pdefault", "Peor", "Peof", "Pre", "Pfrom",
+    "Pcompute", "Pnone",
+    "if", "else", "return", "while", "for", "true", "false",
+}
+
+# Multi-character operators, longest first.
+_OPERATORS = [
+    "(:", ":)", "..", "=>", "==", "!=", "<=", ">=", "&&", "||",
+    "<<", ">>", "+=", "-=", "*=", "/=", "%=",
+    "{", "}", "(", ")", "[", "]", ";", ",", ":", ".", "?",
+    "=", "<", ">", "+", "-", "*", "/", "%", "!", "~", "&", "|", "^",
+]
+
+_ESCAPES = {
+    "n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\",
+    "'": "'", '"': '"', "a": "\a", "b": "\b", "f": "\f", "v": "\v",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident' | 'keyword' | 'int' | 'float' | 'char' | 'string' | 'op' | 'eof'
+    value: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.col})"
+
+
+class Lexer:
+    def __init__(self, text: str, filename: str = "<description>"):
+        self.text = text
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def error(self, message: str) -> LexError:
+        return LexError(message, self.line, self.col)
+
+    def _advance(self, n: int = 1) -> None:
+        for _ in range(n):
+            if self.pos < len(self.text) and self.text[self.pos] == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+            self.pos += 1
+
+    def _peek(self, k: int = 0) -> str:
+        idx = self.pos + k
+        return self.text[idx] if idx < len(self.text) else ""
+
+    def tokens(self) -> List[Token]:
+        return list(self._iter())
+
+    def _iter(self) -> Iterator[Token]:
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.text):
+                yield Token("eof", "", self.line, self.col)
+                return
+            yield self._next_token()
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.text):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) in ("/", "-"):
+                while self.pos < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start_line, start_col = self.line, self.col
+                self._advance(2)
+                while self.pos < len(self.text) and not (self._peek() == "*" and self._peek(1) == "/"):
+                    self._advance()
+                if self.pos >= len(self.text):
+                    raise LexError("unterminated block comment", start_line, start_col)
+                self._advance(2)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        line, col = self.line, self.col
+        ch = self._peek()
+
+        if ch.isalpha() or ch == "_":
+            start = self.pos
+            while self.pos < len(self.text) and (self._peek().isalnum() or self._peek() == "_"):
+                self._advance()
+            word = self.text[start:self.pos]
+            kind = "keyword" if word in KEYWORDS else "ident"
+            return Token(kind, word, line, col)
+
+        if ch.isdigit():
+            return self._number(line, col)
+
+        if ch == "'":
+            return Token("char", self._char_literal(), line, col)
+
+        if ch == '"':
+            return Token("string", self._string_literal(), line, col)
+
+        for op in _OPERATORS:
+            if self.text.startswith(op, self.pos):
+                # Disambiguate ".." inside numbers is handled by _number; here
+                # '.' alone is member access.
+                self._advance(len(op))
+                return Token("op", op, line, col)
+
+        raise LexError(f"unexpected character {ch!r}", line, col)
+
+    def _number(self, line: int, col: int) -> Token:
+        start = self.pos
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+            return Token("int", self.text[start:self.pos], line, col)
+        while self._peek().isdigit():
+            self._advance()
+        # A '.' starts a float only when not the '..' range operator and is
+        # followed by a digit.
+        if self._peek() == "." and self._peek(1).isdigit():
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+            if self._peek() in ("e", "E"):
+                self._advance()
+                if self._peek() in ("+", "-"):
+                    self._advance()
+                while self._peek().isdigit():
+                    self._advance()
+            return Token("float", self.text[start:self.pos], line, col)
+        return Token("int", self.text[start:self.pos], line, col)
+
+    def _escape(self) -> str:
+        self._advance()  # consume backslash
+        ch = self._peek()
+        if ch == "x":
+            self._advance()
+            hexits = ""
+            while len(hexits) < 2 and self._peek() in "0123456789abcdefABCDEF":
+                hexits += self._peek()
+                self._advance()
+            if not hexits:
+                raise self.error("invalid \\x escape")
+            return chr(int(hexits, 16))
+        if ch in _ESCAPES:
+            self._advance()
+            return _ESCAPES[ch]
+        raise self.error(f"unknown escape sequence \\{ch}")
+
+    def _char_literal(self) -> str:
+        self._advance()  # opening quote
+        if self._peek() == "\\":
+            value = self._escape()
+        elif self._peek() == "'":
+            raise self.error("empty character literal")
+        else:
+            value = self._peek()
+            self._advance()
+        if self._peek() != "'":
+            raise self.error("unterminated character literal")
+        self._advance()
+        return value
+
+    def _string_literal(self) -> str:
+        self._advance()  # opening quote
+        chars: List[str] = []
+        while True:
+            ch = self._peek()
+            if ch == "":
+                raise self.error("unterminated string literal")
+            if ch == '"':
+                self._advance()
+                return "".join(chars)
+            if ch == "\\":
+                chars.append(self._escape())
+            elif ch == "\n":
+                raise self.error("newline in string literal")
+            else:
+                chars.append(ch)
+                self._advance()

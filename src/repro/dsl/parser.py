@@ -1,0 +1,623 @@
+"""Recursive-descent parser for PADS descriptions.
+
+Accepts the concrete syntax of the paper's Figures 4 and 5 verbatim
+(``tests/test_paper_descriptions.py`` parses both figures character for
+character), plus the rest of the language surface described in Section 3:
+switched unions, array size bounds, ``Pcompute`` fields, ``Plast`` /
+``Pended`` / ``Plongest`` array conditions, enum value/spelling overrides
+and parameterised type declarations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.errors import DescriptionError
+from ..expr import ast as E
+from . import ast as D
+from .lexer import Lexer, Token
+
+
+class ParseError(DescriptionError):
+    pass
+
+
+# Binary operator precedence (higher binds tighter).  Mirrors C.
+_PRECEDENCE = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%="}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], filename: str):
+        self.tokens = tokens
+        self.idx = 0
+        self.filename = filename
+
+    # -- token utilities -----------------------------------------------------
+
+    def peek(self, k: int = 0) -> Token:
+        idx = min(self.idx + k, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.idx]
+        if tok.kind != "eof":
+            self.idx += 1
+        return tok
+
+    def at(self, kind: str, value: Optional[str] = None, k: int = 0) -> bool:
+        tok = self.peek(k)
+        return tok.kind == kind and (value is None or tok.value == value)
+
+    def at_kw(self, value: str, k: int = 0) -> bool:
+        return self.at("keyword", value, k)
+
+    def at_op(self, value: str, k: int = 0) -> bool:
+        return self.at("op", value, k)
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        if self.at(kind, value):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        tok = self.peek()
+        if not self.at(kind, value):
+            want = value if value is not None else kind
+            raise ParseError(f"expected {want!r}, found {tok.value or tok.kind!r}",
+                             tok.line, tok.col)
+        return self.next()
+
+    def error(self, message: str) -> ParseError:
+        tok = self.peek()
+        return ParseError(message, tok.line, tok.col)
+
+    # -- top level ---------------------------------------------------------------
+
+    def description(self) -> D.Description:
+        decls: List[object] = []
+        while not self.at("eof"):
+            decls.append(self.declaration())
+        return D.Description(decls, self.filename)
+
+    def declaration(self):
+        is_record = False
+        is_source = False
+        while True:
+            if self.accept("keyword", "Precord"):
+                is_record = True
+            elif self.accept("keyword", "Psource"):
+                is_source = True
+            else:
+                break
+
+        tok = self.peek()
+        if self.at_kw("Pstruct"):
+            decl = self.struct_decl()
+        elif self.at_kw("Punion"):
+            decl = self.union_decl()
+        elif self.at_kw("Parray"):
+            decl = self.array_decl()
+        elif self.at_kw("Penum"):
+            decl = self.enum_decl()
+        elif self.at_kw("Ptypedef"):
+            decl = self.typedef_decl()
+        elif self.at_kw("Pbitfields"):
+            decl = self.bitfields_decl()
+        elif self.at("ident"):
+            if is_record or is_source:
+                raise self.error("Precord/Psource must annotate a type declaration")
+            return self.func_decl()
+        else:
+            raise self.error(f"expected a declaration, found {tok.value!r}")
+
+        decl.is_record = is_record
+        decl.is_source = is_source
+        return decl
+
+    def _params(self) -> List[Tuple[str, str]]:
+        """Optional ``(: type name, ... :)`` parameter list on a declaration."""
+        params: List[Tuple[str, str]] = []
+        if self.accept("op", "(:"):
+            while True:
+                ptype = self.expect("ident").value
+                pname = self.expect("ident").value
+                params.append((ptype, pname))
+                if not self.accept("op", ","):
+                    break
+            self.expect("op", ":)")
+        return params
+
+    def _where(self) -> Optional[E.Expr]:
+        if self.accept("keyword", "Pwhere"):
+            self.expect("op", "{")
+            expr = self.expr()
+            self.accept("op", ";")
+            self.expect("op", "}")
+            return expr
+        return None
+
+    # -- Pstruct -------------------------------------------------------------------
+
+    def struct_decl(self) -> D.StructDecl:
+        kw = self.expect("keyword", "Pstruct")
+        name = self.expect("ident").value
+        params = self._params()
+        self.expect("op", "{")
+        items: List[object] = []
+        while not self.at_op("}"):
+            items.append(self.struct_item())
+        self.expect("op", "}")
+        where = self._where()
+        self.accept("op", ";")
+        return D.StructDecl(name=name, params=params, items=items, where=where,
+                            line=kw.line, col=kw.col)
+
+    def struct_item(self):
+        tok = self.peek()
+        # `Pre "..." name;` is a regex-typed field, while `Pre "...";` is an
+        # anonymous regex literal member — disambiguate by lookahead.
+        if self.at_kw("Pre") and self.at("string", k=1) and self.at("ident", k=2):
+            return self._data_field()
+        lit = self._maybe_literal()
+        if lit is not None:
+            self.expect("op", ";")
+            return D.LiteralField(lit)
+        if self.accept("keyword", "Pcompute"):
+            type_name = self.expect("ident").value
+            fname = self.expect("ident").value
+            self.expect("op", "=")
+            expr = self.expr()
+            constraint = self.expr() if self.accept("op", ":") else None
+            self.expect("op", ";")
+            return D.ComputeField(fname, type_name, expr, constraint,
+                                  line=tok.line, col=tok.col)
+        return self._data_field()
+
+    def _maybe_literal(self) -> Optional[D.LiteralSpec]:
+        tok = self.peek()
+        if tok.kind == "char":
+            self.next()
+            return D.LiteralSpec("char", tok.value, tok.line, tok.col)
+        if tok.kind == "string":
+            self.next()
+            return D.LiteralSpec("string", tok.value, tok.line, tok.col)
+        if self.at_kw("Pre"):
+            self.next()
+            pat = self.expect("string")
+            return D.LiteralSpec("regex", _strip_regex(pat.value), tok.line, tok.col)
+        if self.at_kw("Peor"):
+            self.next()
+            return D.LiteralSpec("eor", None, tok.line, tok.col)
+        if self.at_kw("Peof"):
+            self.next()
+            return D.LiteralSpec("eof", None, tok.line, tok.col)
+        return None
+
+    def _data_field(self) -> D.DataField:
+        tok = self.peek()
+        ftype = self.type_expr()
+        fname = self.expect("ident").value
+        constraint = None
+        if self.accept("op", ":"):
+            constraint = self.expr()
+        self.expect("op", ";")
+        return D.DataField(fname, ftype, constraint, line=tok.line, col=tok.col)
+
+    def type_expr(self) -> D.TypeExpr:
+        tok = self.peek()
+        if self.accept("keyword", "Popt"):
+            inner = self.type_expr()
+            return D.OptType(inner, line=tok.line, col=tok.col)
+        if self.accept("keyword", "Pre"):
+            pat = self.expect("string")
+            return D.RegexType(_strip_regex(pat.value), line=tok.line, col=tok.col)
+        name = self.expect("ident").value
+        args: List[E.Expr] = []
+        if self.accept("op", "(:"):
+            if not self.at_op(":)"):
+                while True:
+                    args.append(self.expr())
+                    if not self.accept("op", ","):
+                        break
+            self.expect("op", ":)")
+        return D.TypeRef(name, args, line=tok.line, col=tok.col)
+
+    # -- Punion --------------------------------------------------------------------
+
+    def union_decl(self) -> D.UnionDecl:
+        kw = self.expect("keyword", "Punion")
+        name = self.expect("ident").value
+        params = self._params()
+        self.expect("op", "{")
+        if self.at_kw("Pswitch"):
+            self.next()
+            self.expect("op", "(")
+            selector = self.expr()
+            self.expect("op", ")")
+            self.expect("op", "{")
+            cases: List[D.SwitchCase] = []
+            while not self.at_op("}"):
+                if self.accept("keyword", "Pcase"):
+                    value = self.expr()
+                    self.expect("op", ":")
+                    cases.append(D.SwitchCase(value, self._data_field()))
+                elif self.accept("keyword", "Pdefault"):
+                    self.expect("op", ":")
+                    cases.append(D.SwitchCase(None, self._data_field()))
+                else:
+                    raise self.error("expected Pcase or Pdefault")
+            self.expect("op", "}")
+            self.accept("op", ";")
+            self.expect("op", "}")
+            where = self._where()
+            self.accept("op", ";")
+            return D.UnionDecl(name=name, params=params, switch=selector,
+                               cases=cases, where=where, line=kw.line, col=kw.col)
+        branches: List[D.DataField] = []
+        while not self.at_op("}"):
+            branches.append(self._data_field())
+        self.expect("op", "}")
+        where = self._where()
+        self.accept("op", ";")
+        return D.UnionDecl(name=name, params=params, branches=branches,
+                           where=where, line=kw.line, col=kw.col)
+
+    # -- Parray --------------------------------------------------------------------
+
+    def array_decl(self) -> D.ArrayDecl:
+        kw = self.expect("keyword", "Parray")
+        name = self.expect("ident").value
+        params = self._params()
+        self.expect("op", "{")
+        elt_type = self.type_expr()
+        elt_name = None
+        if self.at("ident"):
+            elt_name = self.next().value
+        self.expect("op", "[")
+        min_size = max_size = None
+        if not self.at_op("]"):
+            first = self.expr()
+            if self.accept("op", ".."):
+                min_size = first
+                max_size = self.expr()
+            else:
+                min_size = max_size = first
+        self.expect("op", "]")
+
+        decl = D.ArrayDecl(name=name, params=params, elt_type=elt_type,
+                           elt_name=elt_name, min_size=min_size,
+                           max_size=max_size, line=kw.line, col=kw.col)
+        if self.accept("op", ":"):
+            self._array_conds(decl)
+        self.expect("op", ";")
+        self.expect("op", "}")
+        decl.where = self._where()
+        self.accept("op", ";")
+        return decl
+
+    def _array_conds(self, decl: D.ArrayDecl) -> None:
+        while True:
+            tok = self.peek()
+            if self.accept("keyword", "Psep"):
+                self.expect("op", "(")
+                lit = self._maybe_literal()
+                if lit is None or lit.kind in ("eor", "eof"):
+                    raise ParseError("Psep requires a char, string or regex literal",
+                                     tok.line, tok.col)
+                self.expect("op", ")")
+                decl.sep = lit
+            elif self.accept("keyword", "Pterm"):
+                self.expect("op", "(")
+                lit = self._maybe_literal()
+                if lit is None:
+                    raise ParseError("Pterm requires a literal, Peor, or Peof",
+                                     tok.line, tok.col)
+                self.expect("op", ")")
+                decl.term = lit
+            elif self.accept("keyword", "Plast"):
+                self.expect("op", "(")
+                decl.last = self.expr()
+                self.expect("op", ")")
+            elif self.accept("keyword", "Pended"):
+                self.expect("op", "(")
+                decl.ended = self.expr()
+                self.expect("op", ")")
+            elif self.accept("keyword", "Plongest"):
+                decl.longest = True
+            elif self.accept("keyword", "Pmin"):
+                self.expect("op", "(")
+                decl.min_size = self.expr()
+                self.expect("op", ")")
+            elif self.accept("keyword", "Pmax"):
+                self.expect("op", "(")
+                decl.max_size = self.expr()
+                self.expect("op", ")")
+            else:
+                raise self.error("expected an array condition "
+                                 "(Psep/Pterm/Plast/Pended/Plongest/Pmin/Pmax)")
+            if not self.accept("op", "&&"):
+                return
+
+    def bitfields_decl(self) -> D.BitfieldsDecl:
+        kw = self.expect("keyword", "Pbitfields")
+        name = self.expect("ident").value
+        params = self._params()
+        self.expect("op", "{")
+        items = []
+        while not self.at_op("}"):
+            width = _int_value(self.expect("int"))
+            self.expect("op", ":")
+            fname = self.expect("ident").value
+            constraint = self.expr() if self.accept("op", ":") else None
+            self.expect("op", ";")
+            items.append(D.BitfieldItem(width, fname, constraint))
+        self.expect("op", "}")
+        where = self._where()
+        self.accept("op", ";")
+        return D.BitfieldsDecl(name=name, params=params, items=items,
+                               where=where, line=kw.line, col=kw.col)
+
+    # -- Penum ---------------------------------------------------------------------
+
+    def enum_decl(self) -> D.EnumDecl:
+        kw = self.expect("keyword", "Penum")
+        name = self.expect("ident").value
+        self.expect("op", "{")
+        items: List[D.EnumItem] = []
+        while True:
+            ident = self.expect("ident").value
+            value = None
+            physical = None
+            if self.accept("op", "="):
+                sign = -1 if self.accept("op", "-") else 1
+                value = sign * _int_value(self.expect("int"))
+            if self.accept("keyword", "Pfrom"):
+                self.expect("op", "(")
+                physical = self.expect("string").value
+                self.expect("op", ")")
+            items.append(D.EnumItem(ident, value, physical))
+            if not self.accept("op", ","):
+                break
+        self.expect("op", "}")
+        self.accept("op", ";")
+        return D.EnumDecl(name=name, items=items, line=kw.line, col=kw.col)
+
+    # -- Ptypedef ------------------------------------------------------------------
+
+    def typedef_decl(self) -> D.TypedefDecl:
+        kw = self.expect("keyword", "Ptypedef")
+        base = self.type_expr()
+        name = self.expect("ident").value
+        var = None
+        constraint = None
+        if self.accept("op", ":"):
+            # `response_t x => { ... }` — the repeated type name is checked
+            # by the typechecker.
+            self.expect("ident")
+            var = self.expect("ident").value
+            self.expect("op", "=>")
+            self.expect("op", "{")
+            constraint = self.expr()
+            self.expect("op", "}")
+        self.expect("op", ";")
+        return D.TypedefDecl(name=name, base=base, var=var, constraint=constraint,
+                             line=kw.line, col=kw.col)
+
+    # -- helper functions -----------------------------------------------------------
+
+    def func_decl(self) -> D.FuncDecl:
+        tok = self.peek()
+        ret_type = self.expect("ident").value
+        name = self.expect("ident").value
+        self.expect("op", "(")
+        params: List[Tuple[str, str]] = []
+        if not self.at_op(")"):
+            while True:
+                ptype = self.expect("ident").value
+                pname = self.expect("ident").value
+                params.append((ptype, pname))
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        body = self.block()
+        self.accept("op", ";")
+        fn = E.FuncDef(ret_type, name, params, body, line=tok.line, col=tok.col)
+        return D.FuncDecl(fn, line=tok.line, col=tok.col)
+
+    # -- statements -------------------------------------------------------------------
+
+    def block(self) -> E.Block:
+        tok = self.expect("op", "{")
+        stmts: List[E.Stmt] = []
+        while not self.at_op("}"):
+            stmts.append(self.stmt())
+        self.expect("op", "}")
+        return E.Block(stmts, line=tok.line, col=tok.col)
+
+    def stmt(self) -> E.Stmt:
+        tok = self.peek()
+        if self.at_op("{"):
+            return self.block()
+        if self.accept("keyword", "if"):
+            self.expect("op", "(")
+            cond = self.expr()
+            self.expect("op", ")")
+            then = self.stmt()
+            other = None
+            if self.accept("keyword", "else"):
+                other = self.stmt()
+            return E.If(cond, then, other, line=tok.line, col=tok.col)
+        if self.accept("keyword", "while"):
+            self.expect("op", "(")
+            cond = self.expr()
+            self.expect("op", ")")
+            return E.While(cond, self.stmt(), line=tok.line, col=tok.col)
+        if self.accept("keyword", "for"):
+            self.expect("op", "(")
+            init = None if self.at_op(";") else self.simple_stmt()
+            self.expect("op", ";")
+            cond = None if self.at_op(";") else self.expr()
+            self.expect("op", ";")
+            step = None if self.at_op(")") else self.simple_stmt()
+            self.expect("op", ")")
+            return E.ForStmt(init, cond, step, self.stmt(), line=tok.line, col=tok.col)
+        if self.accept("keyword", "return"):
+            value = None if self.at_op(";") else self.expr()
+            self.expect("op", ";")
+            return E.Return(value, line=tok.line, col=tok.col)
+        stmt = self.simple_stmt()
+        self.expect("op", ";")
+        return stmt
+
+    def simple_stmt(self) -> E.Stmt:
+        tok = self.peek()
+        # Declaration: two consecutive identifiers (`int x`, `bool ok = ...`).
+        if self.at("ident") and self.at("ident", k=1):
+            type_name = self.next().value
+            name = self.next().value
+            init = self.expr() if self.accept("op", "=") else None
+            return E.VarDecl(type_name, name, init, line=tok.line, col=tok.col)
+        expr = self.expr()
+        for op in _ASSIGN_OPS:
+            if self.at_op(op):
+                self.next()
+                value = self.expr()
+                return E.Assign(expr, op, value, line=tok.line, col=tok.col)
+        return E.ExprStmt(expr, line=tok.line, col=tok.col)
+
+    # -- expressions -----------------------------------------------------------------
+
+    def expr(self) -> E.Expr:
+        return self.ternary()
+
+    def ternary(self) -> E.Expr:
+        cond = self.binary(0)
+        if self.accept("op", "?"):
+            then = self.expr()
+            self.expect("op", ":")
+            other = self.ternary()
+            return E.Ternary(cond, then, other, line=cond.line, col=cond.col)
+        return cond
+
+    def binary(self, level: int) -> E.Expr:
+        if level >= len(_PRECEDENCE):
+            return self.unary()
+        left = self.binary(level + 1)
+        ops = _PRECEDENCE[level]
+        while self.peek().kind == "op" and self.peek().value in ops:
+            op = self.next().value
+            right = self.binary(level + 1)
+            left = E.Binary(op, left, right, line=left.line, col=left.col)
+        return left
+
+    def unary(self) -> E.Expr:
+        tok = self.peek()
+        if tok.kind == "op" and tok.value in ("-", "+", "!", "~"):
+            self.next()
+            return E.Unary(tok.value, self.unary(), line=tok.line, col=tok.col)
+        return self.postfix()
+
+    def postfix(self) -> E.Expr:
+        expr = self.primary()
+        while True:
+            if self.at_op("."):
+                self.next()
+                name = self.expect("ident").value
+                expr = E.Member(expr, name, line=expr.line, col=expr.col)
+            elif self.at_op("["):
+                self.next()
+                idx = self.expr()
+                self.expect("op", "]")
+                expr = E.Index(expr, idx, line=expr.line, col=expr.col)
+            else:
+                return expr
+
+    def primary(self) -> E.Expr:
+        tok = self.peek()
+        if tok.kind == "int":
+            self.next()
+            return E.IntLit(_int_value(tok), line=tok.line, col=tok.col)
+        if tok.kind == "float":
+            self.next()
+            return E.FloatLit(float(tok.value), line=tok.line, col=tok.col)
+        if tok.kind == "char":
+            self.next()
+            return E.CharLit(tok.value, line=tok.line, col=tok.col)
+        if tok.kind == "string":
+            self.next()
+            return E.StrLit(tok.value, line=tok.line, col=tok.col)
+        if self.at_kw("true"):
+            self.next()
+            return E.BoolLit(True, line=tok.line, col=tok.col)
+        if self.at_kw("false"):
+            self.next()
+            return E.BoolLit(False, line=tok.line, col=tok.col)
+        if self.at_kw("Pforall") or self.at_kw("Pexists"):
+            return self._quantifier()
+        if tok.kind == "ident":
+            self.next()
+            if self.at_op("("):
+                self.next()
+                args: List[E.Expr] = []
+                if not self.at_op(")"):
+                    while True:
+                        args.append(self.expr())
+                        if not self.accept("op", ","):
+                            break
+                self.expect("op", ")")
+                return E.Call(tok.value, args, line=tok.line, col=tok.col)
+            return E.Name(tok.value, line=tok.line, col=tok.col)
+        if self.accept("op", "("):
+            expr = self.expr()
+            self.expect("op", ")")
+            return expr
+        raise self.error(f"expected an expression, found {tok.value or tok.kind!r}")
+
+    def _quantifier(self) -> E.Expr:
+        tok = self.next()  # Pforall | Pexists
+        self.expect("op", "(")
+        var = self.expect("ident").value
+        self.expect("keyword", "Pin")
+        self.expect("op", "[")
+        lo = self.expr()
+        self.expect("op", "..")
+        hi = self.expr()
+        self.expect("op", "]")
+        self.expect("op", ":")
+        body = self.expr()
+        self.expect("op", ")")
+        cls = E.Forall if tok.value == "Pforall" else E.Exists
+        return cls(var, lo, hi, body, line=tok.line, col=tok.col)
+
+
+def _int_value(tok: Token) -> int:
+    text = tok.value
+    if text.lower().startswith("0x"):
+        return int(text, 16)
+    return int(text, 10)
+
+
+def _strip_regex(pattern: str) -> str:
+    """PADS regex literals are written ``Pre "/.../"``; strip the slashes."""
+    if len(pattern) >= 2 and pattern.startswith("/") and pattern.endswith("/"):
+        return pattern[1:-1]
+    return pattern
+
+
+def parse_description(text: str, filename: str = "<description>") -> D.Description:
+    """Parse PADS description source into a :class:`Description` AST."""
+    tokens = Lexer(text, filename).tokens()
+    return _Parser(tokens, filename).description()

@@ -1,0 +1,263 @@
+"""Pretty-printer: description ASTs back to PADS concrete syntax.
+
+Supports tooling that *produces* descriptions (the Cobol translator,
+refactoring scripts) and gives descriptions a canonical form.  The round
+trip ``parse(pretty(parse(text)))`` is the identity on ASTs up to
+source locations — pinned by a property test.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..expr import ast as E
+from . import ast as D
+
+_PRECEDENCE = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6, "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8, "+": 9, "-": 9, "*": 10, "/": 10, "%": 10,
+}
+
+
+def _char(value: str) -> str:
+    body = (value.replace("\\", "\\\\").replace("'", "\\'")
+            .replace("\n", "\\n").replace("\t", "\\t").replace("\r", "\\r")
+            .replace("\0", "\\0"))
+    return f"'{body}'"
+
+
+def _string(value: str) -> str:
+    body = (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n").replace("\t", "\\t").replace("\r", "\\r")
+            .replace("\0", "\\0"))
+    return f'"{body}"'
+
+
+def pp_expr(expr: E.Expr, parent_prec: int = 0) -> str:
+    if isinstance(expr, E.IntLit):
+        return str(expr.value)
+    if isinstance(expr, E.FloatLit):
+        return repr(expr.value)
+    if isinstance(expr, E.CharLit):
+        return _char(expr.value)
+    if isinstance(expr, E.StrLit):
+        return _string(expr.value)
+    if isinstance(expr, E.BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, E.Name):
+        return expr.ident
+    if isinstance(expr, E.Unary):
+        return f"{expr.op}{pp_expr(expr.operand, 11)}"
+    if isinstance(expr, E.Binary):
+        prec = _PRECEDENCE[expr.op]
+        text = (f"{pp_expr(expr.left, prec)} {expr.op} "
+                f"{pp_expr(expr.right, prec + 1)}")
+        return f"({text})" if prec < parent_prec else text
+    if isinstance(expr, E.Ternary):
+        text = (f"{pp_expr(expr.cond, 1)} ? {pp_expr(expr.then)} : "
+                f"{pp_expr(expr.other)}")
+        return f"({text})" if parent_prec > 0 else text
+    if isinstance(expr, E.Call):
+        return f"{expr.func}({', '.join(pp_expr(a) for a in expr.args)})"
+    if isinstance(expr, E.Member):
+        return f"{pp_expr(expr.obj, 11)}.{expr.name}"
+    if isinstance(expr, E.Index):
+        return f"{pp_expr(expr.obj, 11)}[{pp_expr(expr.index)}]"
+    if isinstance(expr, E.Forall):
+        return (f"Pforall ({expr.var} Pin [{pp_expr(expr.lo)}.."
+                f"{pp_expr(expr.hi)}] : {pp_expr(expr.body)})")
+    if isinstance(expr, E.Exists):
+        return (f"Pexists ({expr.var} Pin [{pp_expr(expr.lo)}.."
+                f"{pp_expr(expr.hi)}] : {pp_expr(expr.body)})")
+    raise TypeError(f"cannot pretty-print {type(expr).__name__}")
+
+
+def pp_stmt(stmt: E.Stmt, indent: int = 1) -> List[str]:
+    pad = "  " * indent
+    if isinstance(stmt, E.Block):
+        out = [pad + "{"]
+        for s in stmt.stmts:
+            out.extend(pp_stmt(s, indent + 1))
+        out.append(pad + "}")
+        return out
+    if isinstance(stmt, E.VarDecl):
+        init = f" = {pp_expr(stmt.init)}" if stmt.init is not None else ""
+        return [f"{pad}{stmt.type_name} {stmt.name}{init};"]
+    if isinstance(stmt, E.Assign):
+        return [f"{pad}{pp_expr(stmt.target)} {stmt.op} {pp_expr(stmt.value)};"]
+    if isinstance(stmt, E.If):
+        out = [f"{pad}if ({pp_expr(stmt.cond)})"]
+        out.extend(pp_stmt(stmt.then, indent + 1))
+        if stmt.other is not None:
+            out.append(f"{pad}else")
+            out.extend(pp_stmt(stmt.other, indent + 1))
+        return out
+    if isinstance(stmt, E.While):
+        out = [f"{pad}while ({pp_expr(stmt.cond)})"]
+        out.extend(pp_stmt(stmt.body, indent + 1))
+        return out
+    if isinstance(stmt, E.ForStmt):
+        init = pp_stmt(stmt.init, 0)[0].rstrip(";") if stmt.init else ""
+        cond = pp_expr(stmt.cond) if stmt.cond is not None else ""
+        step = pp_stmt(stmt.step, 0)[0].rstrip(";") if stmt.step else ""
+        out = [f"{pad}for ({init}; {cond}; {step})"]
+        out.extend(pp_stmt(stmt.body, indent + 1))
+        return out
+    if isinstance(stmt, E.Return):
+        value = f" {pp_expr(stmt.value)}" if stmt.value is not None else ""
+        return [f"{pad}return{value};"]
+    if isinstance(stmt, E.ExprStmt):
+        return [f"{pad}{pp_expr(stmt.expr)};"]
+    raise TypeError(f"cannot pretty-print {type(stmt).__name__}")
+
+
+def pp_type(texpr: D.TypeExpr) -> str:
+    if isinstance(texpr, D.OptType):
+        return f"Popt {pp_type(texpr.inner)}"
+    if isinstance(texpr, D.RegexType):
+        return f'Pre "/{texpr.pattern}/"'
+    assert isinstance(texpr, D.TypeRef)
+    if texpr.args:
+        args = ", ".join(pp_expr(a) for a in texpr.args)
+        return f"{texpr.name}(:{args}:)"
+    return texpr.name
+
+
+def pp_literal(lit: D.LiteralSpec) -> str:
+    if lit.kind == "char":
+        return _char(lit.value)
+    if lit.kind == "string":
+        return _string(lit.value)
+    if lit.kind == "regex":
+        return f'Pre "/{lit.value}/"'
+    return "Peor" if lit.kind == "eor" else "Peof"
+
+
+def _params(decl: D.Decl) -> str:
+    if not decl.params:
+        return ""
+    inner = ", ".join(f"{t} {n}" for t, n in decl.params)
+    return f"(:{inner}:)"
+
+
+def _annotations(decl: D.Decl) -> str:
+    out = ""
+    if decl.is_source:
+        out += "Psource "
+    if decl.is_record:
+        out += "Precord "
+    return out
+
+
+def _where(decl: D.Decl) -> str:
+    if decl.where is None:
+        return ""
+    return f" Pwhere {{ {pp_expr(decl.where)} }}"
+
+
+def pp_decl(decl) -> str:
+    if isinstance(decl, D.FuncDecl):
+        fn = decl.func
+        params = ", ".join(f"{t} {n}" for t, n in fn.params)
+        lines = [f"{fn.ret_type} {fn.name}({params})"]
+        lines.extend(pp_stmt(fn.body, 0))
+        return "\n".join(lines) + ";"
+
+    head = _annotations(decl)
+    if isinstance(decl, D.StructDecl):
+        lines = [f"{head}Pstruct {decl.name}{_params(decl)} {{"]
+        for item in decl.items:
+            if isinstance(item, D.LiteralField):
+                lines.append(f"  {pp_literal(item.literal)};")
+            elif isinstance(item, D.ComputeField):
+                constraint = (f" : {pp_expr(item.constraint)}"
+                              if item.constraint is not None else "")
+                lines.append(f"  Pcompute {item.type_name} {item.name} = "
+                             f"{pp_expr(item.expr)}{constraint};")
+            else:
+                constraint = (f" : {pp_expr(item.constraint)}"
+                              if item.constraint is not None else "")
+                lines.append(f"  {pp_type(item.type)} {item.name}{constraint};")
+        lines.append("}" + _where(decl) + ";")
+        return "\n".join(lines)
+
+    if isinstance(decl, D.UnionDecl):
+        lines = [f"{head}Punion {decl.name}{_params(decl)} {{"]
+        if decl.is_switched:
+            lines.append(f"  Pswitch ({pp_expr(decl.switch)}) {{")
+            for case in decl.cases:
+                label = (f"Pcase {pp_expr(case.value)}"
+                         if case.value is not None else "Pdefault")
+                f = case.field
+                constraint = (f" : {pp_expr(f.constraint)}"
+                              if f.constraint is not None else "")
+                lines.append(f"    {label}: {pp_type(f.type)} "
+                             f"{f.name}{constraint};")
+            lines.append("  }")
+        else:
+            for br in decl.branches:
+                constraint = (f" : {pp_expr(br.constraint)}"
+                              if br.constraint is not None else "")
+                lines.append(f"  {pp_type(br.type)} {br.name}{constraint};")
+        lines.append("}" + _where(decl) + ";")
+        return "\n".join(lines)
+
+    if isinstance(decl, D.ArrayDecl):
+        if decl.min_size is not None and decl.max_size is not None:
+            lo, hi = pp_expr(decl.min_size), pp_expr(decl.max_size)
+            size = lo if lo == hi else f"{lo}..{hi}"
+        elif decl.min_size is not None:
+            size = pp_expr(decl.min_size)
+        else:
+            size = ""
+        conds = []
+        if decl.sep is not None:
+            conds.append(f"Psep({pp_literal(decl.sep)})")
+        if decl.term is not None:
+            conds.append(f"Pterm({pp_literal(decl.term)})")
+        if decl.last is not None:
+            conds.append(f"Plast({pp_expr(decl.last)})")
+        if decl.ended is not None:
+            conds.append(f"Pended({pp_expr(decl.ended)})")
+        if decl.longest:
+            conds.append("Plongest")
+        cond_text = f" : {' && '.join(conds)}" if conds else ""
+        lines = [f"{head}Parray {decl.name}{_params(decl)} {{",
+                 f"  {pp_type(decl.elt_type)}[{size}]{cond_text};",
+                 "}" + _where(decl) + ";"]
+        return "\n".join(lines)
+
+    if isinstance(decl, D.BitfieldsDecl):
+        lines = [f"{head}Pbitfields {decl.name}{_params(decl)} {{"]
+        for item in decl.items:
+            constraint = (f" : {pp_expr(item.constraint)}"
+                          if item.constraint is not None else "")
+            lines.append(f"  {item.width} : {item.name}{constraint};")
+        lines.append("}" + _where(decl) + ";")
+        return "\n".join(lines)
+
+    if isinstance(decl, D.EnumDecl):
+        items = []
+        for item in decl.items:
+            text = item.name
+            if item.value is not None:
+                text += f" = {item.value}"
+            if item.physical is not None:
+                text += f' Pfrom({_string(item.physical)})'
+            items.append(text)
+        return (f"{head}Penum {decl.name} {{ " + ", ".join(items) + " };")
+
+    if isinstance(decl, D.TypedefDecl):
+        base = pp_type(decl.base)
+        if decl.constraint is not None:
+            return (f"{head}Ptypedef {base} {decl.name} : {decl.name} "
+                    f"{decl.var} => {{ {pp_expr(decl.constraint)} }};")
+        return f"{head}Ptypedef {base} {decl.name};"
+
+    raise TypeError(f"cannot pretty-print {type(decl).__name__}")
+
+
+def pp_description(desc: D.Description) -> str:
+    """Render a whole description as PADS source."""
+    return "\n\n".join(pp_decl(d) for d in desc.decls) + "\n"

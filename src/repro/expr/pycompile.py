@@ -1,0 +1,181 @@
+"""Compile embedded-language ASTs to Python source.
+
+The PADS compiler in the paper inlines constraint checks into the generated
+C parser.  Our code generator does the same for Python: every constraint,
+``Pwhere`` clause and helper function is translated to Python source by
+this module and embedded in the generated parser module.
+
+The translation must agree with the interpreter in :mod:`repro.expr.eval`;
+``tests/test_expr.py`` cross-checks the two on randomly generated
+expressions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from . import ast as E
+
+Resolver = Callable[[str], str]
+
+_BINOP = {
+    "+": "+", "-": "-", "*": "*",
+    "&": "&", "|": "|", "^": "^", "<<": "<<", ">>": ">>",
+    "==": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">=",
+    "&&": "and", "||": "or",
+}
+
+
+def _default_resolver(name: str) -> str:
+    return name
+
+
+def compile_expr(expr: E.Expr, resolve: Optional[Resolver] = None) -> str:
+    """Render ``expr`` as a Python expression string.
+
+    ``resolve`` maps free identifiers to Python expressions (the code
+    generator uses it to route field names to local variables and enum
+    literals to constants).
+    """
+    r = resolve or _default_resolver
+
+    def go(e: E.Expr) -> str:
+        if isinstance(e, E.IntLit):
+            return repr(e.value)
+        if isinstance(e, E.FloatLit):
+            return repr(e.value)
+        if isinstance(e, (E.StrLit, E.CharLit)):
+            return repr(e.value)
+        if isinstance(e, E.BoolLit):
+            return "True" if e.value else "False"
+        if isinstance(e, E.Name):
+            return r(e.ident)
+        if isinstance(e, E.Unary):
+            op = {"!": "not ", "-": "-", "+": "+", "~": "~"}[e.op]
+            return f"({op}{go(e.operand)})"
+        if isinstance(e, E.Binary):
+            if e.op == "/":
+                return f"_cdiv({go(e.left)}, {go(e.right)})"
+            if e.op == "%":
+                return f"_cmod({go(e.left)}, {go(e.right)})"
+            if e.op in ("&&", "||"):
+                return f"(bool({go(e.left)}) {_BINOP[e.op]} bool({go(e.right)}))"
+            return f"({go(e.left)} {_BINOP[e.op]} {go(e.right)})"
+        if isinstance(e, E.Ternary):
+            return f"({go(e.then)} if {go(e.cond)} else {go(e.other)})"
+        if isinstance(e, E.Member):
+            # `length` needs the helper (it means len() on arrays); other
+            # members compile to direct attribute access on Rec/UnionVal.
+            if e.name == "length":
+                return f"_member({go(e.obj)}, {e.name!r})"
+            return f"{go(e.obj)}.{e.name}"
+        if isinstance(e, E.Index):
+            return f"{go(e.obj)}[{go(e.index)}]"
+        if isinstance(e, E.Call):
+            args = ", ".join(go(a) for a in e.args)
+            return f"{r(e.func)}({args})"
+        if isinstance(e, E.Forall):
+            shadow = _shadowing(r, e.var)
+            body = compile_expr(e.body, shadow)
+            return (f"all({body} for {e.var} in "
+                    f"range(int({go(e.lo)}), int({go(e.hi)}) + 1))")
+        if isinstance(e, E.Exists):
+            shadow = _shadowing(r, e.var)
+            body = compile_expr(e.body, shadow)
+            return (f"any({body} for {e.var} in "
+                    f"range(int({go(e.lo)}), int({go(e.hi)}) + 1))")
+        raise TypeError(f"cannot compile {type(e).__name__}")
+
+    return go(expr)
+
+
+def _shadowing(resolve: Resolver, var: str) -> Resolver:
+    def inner(name: str) -> str:
+        if name == var:
+            return name
+        return resolve(name)
+    return inner
+
+
+def compile_function(fn: E.FuncDef, resolve: Optional[Resolver] = None,
+                     name_prefix: str = "") -> str:
+    """Render a user helper function as a Python ``def``.
+
+    Free names inside the body that are neither parameters nor locals are
+    resolved through ``resolve`` (enum literals, other helper functions).
+    """
+    bound = {p for _, p in fn.params}
+    outer = resolve or _default_resolver
+
+    def r(name: str) -> str:
+        if name in bound:
+            return name
+        return outer(name)
+
+    lines = [f"def {name_prefix}{fn.name}({', '.join(p for _, p in fn.params)}):"]
+    body = _compile_block(fn.body, r, bound, indent=1)
+    if not body:
+        body = ["    return None"]
+    lines.extend(body)
+    lines.append("    return None")
+    return "\n".join(lines)
+
+
+def _compile_block(block: E.Block, r: Resolver, bound: set, indent: int) -> list:
+    out: list = []
+    for stmt in block.stmts:
+        out.extend(_compile_stmt(stmt, r, bound, indent))
+    return out
+
+
+def _compile_stmt(stmt: E.Stmt, r: Resolver, bound: set, indent: int) -> list:
+    pad = "    " * indent
+    if isinstance(stmt, E.Block):
+        return _compile_block(stmt, r, set(bound), indent)
+    if isinstance(stmt, E.VarDecl):
+        bound.add(stmt.name)
+        init = compile_expr(stmt.init, r) if stmt.init is not None else "0"
+        return [f"{pad}{stmt.name} = {init}"]
+    if isinstance(stmt, E.Assign):
+        value = compile_expr(stmt.value, r)
+        if isinstance(stmt.target, E.Name):
+            bound.add(stmt.target.ident)
+            target = stmt.target.ident
+        elif isinstance(stmt.target, E.Index):
+            target = f"{compile_expr(stmt.target.obj, r)}[{compile_expr(stmt.target.index, r)}]"
+        else:
+            raise TypeError("unsupported assignment target in generated code")
+        op = stmt.op if stmt.op != "=" else "="
+        if op in ("/=", "%="):
+            helper = "_cdiv" if op == "/=" else "_cmod"
+            return [f"{pad}{target} = {helper}({target}, {value})"]
+        return [f"{pad}{target} {op} {value}"]
+    if isinstance(stmt, E.If):
+        out = [f"{pad}if {compile_expr(stmt.cond, r)}:"]
+        out.extend(_compile_stmt(stmt.then, r, set(bound), indent + 1) or [f"{pad}    pass"])
+        if stmt.other is not None:
+            out.append(f"{pad}else:")
+            out.extend(_compile_stmt(stmt.other, r, set(bound), indent + 1) or [f"{pad}    pass"])
+        return out
+    if isinstance(stmt, E.While):
+        out = [f"{pad}while {compile_expr(stmt.cond, r)}:"]
+        out.extend(_compile_stmt(stmt.body, r, set(bound), indent + 1) or [f"{pad}    pass"])
+        return out
+    if isinstance(stmt, E.ForStmt):
+        out = []
+        inner_bound = set(bound)
+        if stmt.init is not None:
+            out.extend(_compile_stmt(stmt.init, r, inner_bound, indent))
+        cond = compile_expr(stmt.cond, r) if stmt.cond is not None else "True"
+        out.append(f"{pad}while {cond}:")
+        body = _compile_stmt(stmt.body, r, inner_bound, indent + 1) or [f"{pad}    pass"]
+        out.extend(body)
+        if stmt.step is not None:
+            out.extend(_compile_stmt(stmt.step, r, inner_bound, indent + 1))
+        return out
+    if isinstance(stmt, E.Return):
+        value = compile_expr(stmt.value, r) if stmt.value is not None else "None"
+        return [f"{pad}return {value}"]
+    if isinstance(stmt, E.ExprStmt):
+        return [f"{pad}{compile_expr(stmt.expr, r)}"]
+    raise TypeError(f"cannot compile statement {type(stmt).__name__}")

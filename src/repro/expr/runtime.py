@@ -1,0 +1,33 @@
+"""Helpers imported by code generated from PADS expressions.
+
+Generated Python modules (see :mod:`repro.codegen`) compile description
+expressions down to Python expressions; the few places where C semantics
+and Python semantics differ are routed through these helpers so that the
+interpreter (:mod:`repro.expr.eval`) and generated code always agree.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .eval import BUILTINS, member
+
+
+def cdiv(a: Any, b: Any) -> Any:
+    """C-style division: truncates toward zero on integers."""
+    if isinstance(a, int) and isinstance(b, int):
+        q = abs(a) // abs(b)
+        return q if (a >= 0) == (b >= 0) else -q
+    return a / b
+
+
+def cmod(a: Any, b: Any) -> Any:
+    """C-style remainder: sign follows the dividend."""
+    if isinstance(a, int) and isinstance(b, int):
+        return a - cdiv(a, b) * b
+    return a % b
+
+
+# Re-exported so generated modules have a single import site.
+getmember = member
+builtins_table = BUILTINS

@@ -1,0 +1,89 @@
+"""Shipped PADS descriptions and the paper's sample data.
+
+``CLF`` and ``SIRIUS`` are the paper's Figures 4 and 5; ``CLF_SAMPLE`` and
+``SIRIUS_SAMPLE`` are the data from Figures 2 and 3.  ``CALL_DETAIL`` and
+``NETFLOW`` cover the binary formats from Figure 1.  Loader helpers return
+ready-to-use :class:`~repro.core.api.CompiledDescription` objects with the
+right ambient coding and record discipline.
+"""
+
+from __future__ import annotations
+
+import importlib.resources as _resources
+
+from ..core.api import CompiledDescription, compile_description
+from ..core.io import FixedWidthRecords, NewlineRecords, NoRecords
+
+
+def _read(name: str) -> str:
+    return (_resources.files(__package__) / name).read_text(encoding="utf-8")
+
+
+CLF = _read("clf.pads")
+SIRIUS = _read("sirius.pads")
+CALL_DETAIL = _read("calldetail.pads")
+NETFLOW = _read("netflow.pads")
+REGULUS = _read("regulus.pads")
+
+#: Figure 2 of the paper: "Tiny example of web server log data."
+CLF_SAMPLE = (
+    '207.136.97.49 - - [15/Oct/1997:18:46:51 -0700] "GET /tk/p.txt HTTP/1.0" 200 30\n'
+    'tj62.aol.com - - [16/Oct/1997:14:32:22 -0700] "POST /scpt/dd@grp.org/confirm HTTP/1.0" 200 941\n'
+)
+
+#: Figure 3 of the paper: "Tiny example of Sirius provisioning data."
+SIRIUS_SAMPLE = (
+    "0|1005022800\n"
+    "9152|9152|1|9735551212|0||9085551212|07988|no_ii152272|EDTF_6|0|APRL1|DUO|10|1000295291\n"
+    "9153|9153|1|0|0|0|0||152268|LOC_6|0|FRDW1|DUO|LOC_CRTE|1001476800|LOC_OS_10|1001649601\n"
+)
+
+#: Figure 8 of the paper: the formatted CLF records (delimiter "|",
+#: date format "%D:%T").
+CLF_FORMATTED = (
+    "207.136.97.49|-|-|10/16/97:01:46:51|GET|/tk/p.txt|1|0|200|30\n"
+    "tj62.aol.com|-|-|10/16/97:21:32:22|POST|/scpt/dd@grp.org/confirm|1|0|200|941\n"
+)
+
+CALL_DETAIL_WIDTH = 24  # bytes per fixed-width call_t record
+
+
+def load_clf() -> CompiledDescription:
+    """The CLF description, newline records, ASCII ambient coding."""
+    return compile_description(CLF, ambient="ascii",
+                               discipline=NewlineRecords(), filename="clf.pads")
+
+
+def load_sirius() -> CompiledDescription:
+    """The Sirius description, newline records, ASCII ambient coding."""
+    return compile_description(SIRIUS, ambient="ascii",
+                               discipline=NewlineRecords(), filename="sirius.pads")
+
+
+def load_call_detail() -> CompiledDescription:
+    """The call-detail description: binary ambient, fixed-width records."""
+    return compile_description(
+        CALL_DETAIL, ambient="binary",
+        discipline=FixedWidthRecords(CALL_DETAIL_WIDTH),
+        filename="calldetail.pads")
+
+
+def load_netflow() -> CompiledDescription:
+    """The netflow description: binary ambient, no record structure."""
+    return compile_description(NETFLOW, ambient="binary",
+                               discipline=NoRecords(), filename="netflow.pads")
+
+
+def load_regulus() -> CompiledDescription:
+    """The Regulus IP-backbone description, newline records."""
+    return compile_description(REGULUS, ambient="ascii",
+                               discipline=NewlineRecords(),
+                               filename="regulus.pads")
+
+
+__all__ = [
+    "CLF", "SIRIUS", "CALL_DETAIL", "NETFLOW", "REGULUS",
+    "CLF_SAMPLE", "SIRIUS_SAMPLE", "CLF_FORMATTED", "CALL_DETAIL_WIDTH",
+    "load_clf", "load_sirius", "load_call_detail", "load_netflow",
+    "load_regulus",
+]

@@ -1,0 +1,16 @@
+      * Altair-style billing record copybook (representative reconstruction
+      * of the Cobol feeds described in Figure 1 of the PADS paper).
+       01  BILLING-RECORD.
+           05  ACCOUNT-ID          PIC 9(10).
+           05  CUSTOMER-NAME       PIC X(20).
+           05  SERVICE-CLASS       PIC X(2).
+           05  BILL-AMOUNT         PIC S9(7)V99 COMP-3.
+           05  MINUTES-USED        PIC 9(5)     COMP-3.
+           05  CYCLE-DATE.
+               10  CYCLE-YEAR      PIC 9(4).
+               10  CYCLE-MONTH     PIC 9(2).
+               10  CYCLE-DAY       PIC 9(2).
+           05  USAGE-COUNTERS OCCURS 3 TIMES PIC 9(4) COMP.
+           05  STATUS-AREA.
+               10  STATUS-CODE     PIC X(1).
+               10  FILLER          PIC X(3).

@@ -1,0 +1,2 @@
+"""Generated-tool suite: accumulators, formatting, XML, query, Cobol,
+data generation, and the ``padsc`` command line."""

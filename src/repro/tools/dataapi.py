@@ -1,0 +1,213 @@
+"""The Galax-style data API: a lazy tree view of parsed PADS data.
+
+Section 5.4 of the paper: PADS generates, per type, ``node_new`` and
+``node_kthChild`` functions implementing a data API that presents the
+source as a tree, letting the Galax XQuery engine query raw ad hoc data
+"as if the data were in XML without having to convert to XML".
+
+:class:`PNode` is the Python analogue.  Children are materialised lazily,
+and — as in the paper — a node's children include its parse descriptor
+(``pd``), so queries can explore the error portions of the data.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.errors import Pd
+from ..core.types import (
+    AppNode,
+    ArrayNode,
+    BaseNode,
+    EnumNode,
+    OptNode,
+    PType,
+    RecordNode,
+    StructNode,
+    SwitchUnionNode,
+    TypedefNode,
+    UnionNode,
+)
+from ..core.values import DateVal
+
+
+def _unwrap(node: PType) -> PType:
+    while True:
+        if isinstance(node, RecordNode):
+            node = node.inner
+        elif isinstance(node, AppNode):
+            node = node.decl_node
+        else:
+            return node
+
+
+class PNode:
+    """A tree node over (type, rep, pd) — ``PDCI_node_t`` in Figure 6."""
+
+    __slots__ = ("ptype", "rep", "pd", "name", "parent", "_children")
+
+    def __init__(self, ptype: Optional[PType], rep, pd: Optional[Pd],
+                 name: str, parent: Optional["PNode"] = None):
+        self.ptype = ptype
+        self.rep = rep
+        self.pd = pd
+        self.name = name
+        self.parent = parent
+        self._children: Optional[List[PNode]] = None
+
+    # -- identity ---------------------------------------------------------------
+
+    @property
+    def type_name(self) -> str:
+        if self.ptype is None:
+            return ""
+        return _unwrap(self.ptype).name
+
+    @property
+    def kind(self) -> str:
+        if self.ptype is None:
+            return "pd" if isinstance(self.rep, Pd) else "atomic"
+        return _unwrap(self.ptype).kind
+
+    def matches(self, label: str) -> bool:
+        """A step name matches this node by field name, type name, or type
+        name with the conventional ``_t`` suffix stripped (so the paper's
+        ``/sirius/order`` path style works against ``order_t``-style
+        declarations)."""
+        if label == self.name or label == self.type_name:
+            return True
+        tname = self.type_name
+        return tname.endswith("_t") and label == tname[:-2]
+
+    # -- children (lazy) -----------------------------------------------------------
+
+    @property
+    def children(self) -> List["PNode"]:
+        if self._children is None:
+            self._children = self._build_children()
+        return self._children
+
+    def _build_children(self) -> List["PNode"]:
+        out: List[PNode] = []
+        node = _unwrap(self.ptype) if self.ptype is not None else None
+
+        if node is None:
+            if isinstance(self.rep, Pd):
+                out.extend(self._pd_children(self.rep))
+            return out
+
+        if isinstance(node, TypedefNode):
+            inner = PNode(node.base, self.rep, self.pd, self.name, self.parent)
+            return inner._build_children()
+
+        if isinstance(node, StructNode):
+            for f in node.fields:
+                if f.kind == "literal":
+                    continue
+                child_pd = self.pd.fields.get(f.name) if self.pd else None
+                value = getattr(self.rep, f.name, None)
+                out.append(PNode(f.node, value, child_pd, f.name, self))
+        elif isinstance(node, (UnionNode, SwitchUnionNode)):
+            branches = node.branches if isinstance(node, UnionNode) else node.cases
+            for br in branches:
+                if br.name == getattr(self.rep, "tag", None):
+                    out.append(PNode(br.node, self.rep.value,
+                                     self.pd.branch if self.pd else None,
+                                     br.name, self))
+        elif isinstance(node, OptNode):
+            if self.rep is not None:
+                inner = PNode(node.inner, self.rep,
+                              self.pd.branch if self.pd else None,
+                              self.name, self)
+                return inner._build_children()
+        elif isinstance(node, ArrayNode):
+            elt_name = _element_label(node)
+            for i, value in enumerate(self.rep or []):
+                elt_pd = (self.pd.elts[i]
+                          if self.pd and i < len(self.pd.elts) else None)
+                out.append(PNode(node.elt, value, elt_pd, elt_name, self))
+
+        if self.pd is not None and self.pd.nerr > 0:
+            out.append(PNode(None, self.pd, None, "pd", self))
+        return out
+
+    def _pd_children(self, pd: Pd) -> List["PNode"]:
+        mk = lambda name, value: PNode(None, value, None, name, self)
+        out = [mk("pstate", pd.pstate.name or "OK"),
+               mk("nerr", pd.nerr),
+               mk("errCode", pd.err_code.name)]
+        if pd.loc is not None:
+            out.append(mk("loc", str(pd.loc)))
+        return out
+
+    def kth_child(self, k: int) -> Optional["PNode"]:
+        """0-based child access (``node_kthChild`` in Figure 6)."""
+        kids = self.children
+        if 0 <= k < len(kids):
+            return kids[k]
+        return None
+
+    def kth_child_named(self, name: str, k: int = 0) -> Optional["PNode"]:
+        matches = [c for c in self.children if c.matches(name)]
+        if 0 <= k < len(matches):
+            return matches[k]
+        return None
+
+    def named(self, name: str) -> List["PNode"]:
+        return [c for c in self.children if c.matches(name)]
+
+    def descendants(self) -> List["PNode"]:
+        out: List[PNode] = [self]
+        for child in self.children:
+            out.extend(child.descendants())
+        return out
+
+    # -- atomic value ------------------------------------------------------------------
+
+    @property
+    def is_leaf(self) -> bool:
+        node = _unwrap(self.ptype) if self.ptype is not None else None
+        while True:
+            if isinstance(node, TypedefNode):
+                node = _unwrap(node.base)
+            elif isinstance(node, OptNode) and self.rep is not None:
+                node = _unwrap(node.inner)
+            else:
+                break
+        return node is None or isinstance(node, (BaseNode, EnumNode))
+
+    def value(self):
+        """Typed atomic value for leaves; text content otherwise."""
+        if self.is_leaf:
+            return self.rep
+        return self.text()
+
+    def text(self) -> str:
+        if self.is_leaf:
+            if self.rep is None:
+                return ""
+            if isinstance(self.rep, DateVal):
+                return self.rep.raw
+            return str(self.rep)
+        return "".join(c.text() for c in self.children)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PNode {self.name}:{self.type_name}>"
+
+
+def _element_label(node: ArrayNode) -> str:
+    """Array children take the element type's name when it has one (so the
+    paper's ``/sirius/order`` style paths work), with the conventional
+    ``_t`` suffix stripped; anonymous elements are labelled ``elt``."""
+    elt = _unwrap(node.elt)
+    name = getattr(elt, "name", "")
+    if name and not name.startswith(("<", "P")):
+        return name[:-2] if name.endswith("_t") else name
+    return "elt"
+
+
+def node_new(description, rep, pd=None, type_name: Optional[str] = None,
+             name: Optional[str] = None) -> PNode:
+    """Build the root of a data-API tree over a parsed value."""
+    node = description.node(type_name)
+    return PNode(node, rep, pd, name or (type_name or "root"))

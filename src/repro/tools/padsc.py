@@ -1,0 +1,332 @@
+"""``padsc`` — the PADS command line.
+
+Bundles the compiler and every generated tool the paper describes behind
+one entry point::
+
+    padsc compile  desc.pads -o desc_parser.py        # generate a parser module
+    padsc check    desc.pads                          # parse + typecheck only
+    padsc accum    desc.pads data --record entry_t    # statistical profile (5.2)
+    padsc fmt      desc.pads data --record entry_t --delims '|'   # (5.3.1)
+    padsc xml      desc.pads data --record entry_t    # canonical XML (5.3.2)
+    padsc xsd      desc.pads                          # XML Schema (5.3.2)
+    padsc query    desc.pads data 'es/entry[...]'     # XQuery subset (5.4)
+    padsc gen      desc.pads --type entry_t -n 100    # synthetic data (9)
+    padsc cobol    copybook.cpy                       # copybook -> PADS (5.2)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from ..core.api import compile_description, compile_file
+from ..core.errors import DescriptionError, PadsError
+from ..core.io import FixedWidthRecords, LengthPrefixedRecords, NewlineRecords, NoRecords
+
+
+def _discipline(args):
+    kind = getattr(args, "records", "newline")
+    if kind == "newline":
+        return NewlineRecords()
+    if kind == "none":
+        return NoRecords()
+    if kind.startswith("fixed:"):
+        return FixedWidthRecords(int(kind.split(":", 1)[1]))
+    if kind.startswith("lenprefix:"):
+        return LengthPrefixedRecords(int(kind.split(":", 1)[1]))
+    raise PadsError(f"unknown record discipline {kind!r} "
+                    "(use newline, none, fixed:<n>, lenprefix:<n>)")
+
+
+def _load(args):
+    if getattr(args, "base_types", None):
+        from ..core.basetypes.userdef import load_base_type_files
+        load_base_type_files(args.base_types)
+    return compile_file(args.description, ambient=args.ambient,
+                        discipline=_discipline(args))
+
+
+def _read_data(args) -> bytes:
+    if args.data == "-":
+        return sys.stdin.buffer.read()
+    with open(args.data, "rb") as handle:
+        return handle.read()
+
+
+def cmd_check(args) -> int:
+    try:
+        d = _load(args)
+    except DescriptionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"{args.description}: ok "
+          f"({len(d.type_names)} types, source type {d.source_type})")
+    return 0
+
+
+def cmd_compile(args) -> int:
+    from ..codegen import generate_source
+    with open(args.description, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    source = generate_source(text, ambient=args.ambient,
+                             filename=args.description)
+    out = args.output or (args.description.rsplit(".", 1)[0] + "_parser.py")
+    with open(out, "w", encoding="utf-8") as handle:
+        handle.write(source)
+    print(f"wrote {out} ({len(source.splitlines())} lines)")
+    return 0
+
+
+def cmd_accum(args) -> int:
+    from .accum import Accumulator, accumulate_records
+    d = _load(args)
+    data = _read_data(args)
+    if args.summaries:
+        # Attach streaming histograms/quantiles before feeding records.
+        from .summaries import attach_summaries
+        acc = Accumulator(d.node(args.record), "<top>", args.track)
+        attach_summaries(acc)
+        header_acc = None
+        count = 0
+        for rep, pd in d.records(data, args.record):
+            acc.add(rep, pd)
+            count += 1
+    else:
+        acc, header_acc, count = accumulate_records(
+            d, data, args.record, header_type=args.header, tracked=args.track)
+    if header_acc is not None:
+        print(header_acc.full_report(args.top))
+        print()
+    if args.field:
+        target = acc.field(args.field)
+        print(target.report(args.top))
+        if args.summaries and getattr(target.self_acc, "summaries", None):
+            print()
+            print(target.self_acc.summaries.report())
+    else:
+        print(acc.full_report(args.top))
+    print(f"\n{count} records", file=sys.stderr)
+    return 0
+
+
+def cmd_fmt(args) -> int:
+    from .fmt import format_records
+    d = _load(args)
+    data = _read_data(args)
+    for line in format_records(d, data, args.record, delims=list(args.delims),
+                               date_format=args.date_format,
+                               skip_errors=args.skip_errors):
+        print(line)
+    return 0
+
+
+def cmd_xml(args) -> int:
+    from .xml_out import xml_records
+    d = _load(args)
+    data = _read_data(args)
+    for chunk in xml_records(d, data, args.record):
+        print(chunk)
+    return 0
+
+
+def cmd_xsd(args) -> int:
+    from .xsd import schema_for_description, schema_for_type
+    d = _load(args)
+    if args.type:
+        print(schema_for_type(args.type, d.node(args.type)))
+    else:
+        print(schema_for_description(d))
+    return 0
+
+
+def cmd_query(args) -> int:
+    from .dataapi import node_new
+    from .query import query, query_records
+    d = _load(args)
+    data = _read_data(args)
+    if args.record:
+        # Streaming: one record resident at a time (bounded memory).
+        results = query_records(d, data, args.record, args.expr)
+    else:
+        rep, pd = d.parse_source(data)
+        root = node_new(d, rep, pd, None, name=args.root)
+        results = query(args.expr, root)
+    for item in results:
+        if hasattr(item, "text"):
+            print(item.text() if item.is_leaf else f"<{item.name}>")
+        else:
+            print(item)
+    return 0
+
+
+def cmd_gen(args) -> int:
+    import random
+    from .datagen import ErrorInjector, generate_source as gen_source
+    d = _load(args)
+    rng = random.Random(args.seed)
+    injector = ErrorInjector(args.error_rate) if args.error_rate else None
+    data = gen_source(d, args.type or d.source_type, args.count, rng, injector)
+    if args.output:
+        with open(args.output, "wb") as handle:
+            handle.write(data)
+        print(f"wrote {len(data)} bytes to {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.buffer.write(data)
+    return 0
+
+
+def cmd_drift(args) -> int:
+    from .drift import profile_and_compare
+    d = _load(args)
+    with open(args.data, "rb") as handle:
+        old = handle.read()
+    with open(args.new_data, "rb") as handle:
+        new = handle.read()
+    report = profile_and_compare(d, args.record, old, new)
+    print(report.render())
+    return 2 if report.drifted else 0
+
+
+def cmd_view(args) -> int:
+    from .view import render_record
+    d = _load(args)
+    data = _read_data(args)
+    # Skip to the requested record.
+    src = d.open(data)
+    for _ in range(args.index):
+        if not src.begin_record():
+            print(f"padsc: no record {args.index}", file=sys.stderr)
+            return 1
+        src.end_record()
+    print(render_record(d, src, args.record))
+    return 0
+
+
+def cmd_cobol(args) -> int:
+    from .cobol import translate
+    with open(args.copybook, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    tr = translate(text, args.copybook)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(tr.pads_source)
+        print(f"wrote {args.output} (record type {tr.record_type}, "
+              f"width {tr.record_width})", file=sys.stderr)
+    else:
+        print(tr.pads_source)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="padsc",
+        description="PADS: processing ad hoc data sources (PLDI 2005 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, data: bool = True):
+        p.add_argument("description", help="PADS description file")
+        if data:
+            p.add_argument("data", help="data file ('-' for stdin)")
+        p.add_argument("--ambient", default="ascii",
+                       choices=["ascii", "binary", "ebcdic"])
+        p.add_argument("--records", default="newline",
+                       help="record discipline: newline, none, fixed:<n>, "
+                            "lenprefix:<n>")
+        p.add_argument("--base-types", action="append", dest="base_types",
+                       metavar="FILE",
+                       help="user base-type specification file "
+                            "(repeatable; paper Section 6)")
+
+    p = sub.add_parser("check", help="parse and typecheck a description")
+    common(p, data=False)
+    p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser("compile", help="generate a Python parser module")
+    common(p, data=False)
+    p.add_argument("-o", "--output")
+    p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser("accum", help="statistical profile (accumulators)")
+    common(p)
+    p.add_argument("--record", required=True, help="record type name")
+    p.add_argument("--header", help="optional header type name")
+    p.add_argument("--field", help="report only this dotted field path")
+    p.add_argument("--track", type=int, default=1000,
+                   help="distinct values tracked (default 1000)")
+    p.add_argument("--top", type=int, default=10,
+                   help="values reported (default 10)")
+    p.add_argument("--summaries", action="store_true",
+                   help="attach streaming histogram/quantile summaries "
+                        "(paper Section 9)")
+    p.set_defaults(fn=cmd_accum)
+
+    p = sub.add_parser("fmt", help="delimited formatting")
+    common(p)
+    p.add_argument("--record", required=True)
+    p.add_argument("--delims", default="|")
+    p.add_argument("--date-format", default=None)
+    p.add_argument("--skip-errors", action="store_true")
+    p.set_defaults(fn=cmd_fmt)
+
+    p = sub.add_parser("xml", help="convert to canonical XML")
+    common(p)
+    p.add_argument("--record", required=True)
+    p.set_defaults(fn=cmd_xml)
+
+    p = sub.add_parser("xsd", help="emit the XML Schema")
+    common(p, data=False)
+    p.add_argument("--type", help="only this type's schema fragment")
+    p.set_defaults(fn=cmd_xsd)
+
+    p = sub.add_parser("query", help="run an XQuery-subset query")
+    common(p)
+    p.add_argument("expr", help="query expression")
+    p.add_argument("--root", default="source", help="name of the root node")
+    p.add_argument("--record", help="stream record-at-a-time over this type "
+                                    "(bind each record to $record)")
+    p.set_defaults(fn=cmd_query)
+
+    p = sub.add_parser("gen", help="generate conforming random data")
+    common(p, data=False)
+    p.add_argument("--type", help="record type (default: the Psource type)")
+    p.add_argument("-n", "--count", type=int, default=10)
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--error-rate", type=float, default=0.0)
+    p.add_argument("-o", "--output")
+    p.set_defaults(fn=cmd_gen)
+
+    p = sub.add_parser("drift", help="compare two files' statistical "
+                                     "profiles (Altair daily check)")
+    common(p)
+    p.add_argument("new_data", help="the newer data file")
+    p.add_argument("--record", required=True)
+    p.set_defaults(fn=cmd_drift)
+
+    p = sub.add_parser("view", help="field-annotated hex view of a record")
+    common(p)
+    p.add_argument("--record", required=True, help="record type name")
+    p.add_argument("--index", type=int, default=0,
+                   help="0-based record index (default 0)")
+    p.set_defaults(fn=cmd_view)
+
+    p = sub.add_parser("cobol", help="translate a Cobol copybook to PADS")
+    p.add_argument("copybook")
+    p.add_argument("-o", "--output")
+    p.set_defaults(fn=cmd_cobol)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except (PadsError, OSError) as exc:
+        print(f"padsc: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

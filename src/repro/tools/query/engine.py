@@ -1,0 +1,762 @@
+"""Lexer, parser and evaluator for the XQuery subset.
+
+Values are XPath-style *sequences* (Python lists) of items; an item is a
+:class:`~repro.tools.dataapi.PNode` or an atomic (int, float, str, bool,
+DateVal).  General comparisons are existential, effective boolean value
+follows XPath 1.0-style rules, and numeric predicates select by position.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Dict, List, Optional
+
+from ...core.values import DateVal
+from ..dataapi import PNode
+
+
+class QueryError(Exception):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+
+_KEYWORDS = {"for", "let", "in", "where", "return", "order", "by",
+             "ascending", "descending", "and", "or", "div", "mod",
+             "if", "then", "else", "some", "every", "satisfies"}
+
+_TWO_CHAR = ["//", ":=", "!=", "<=", ">="]
+_ONE_CHAR = list("/[]()$.,*+-=<>@")
+
+
+class _Tok:
+    __slots__ = ("kind", "value", "pos")
+
+    def __init__(self, kind: str, value: str, pos: int):
+        self.kind = kind
+        self.value = value
+        self.pos = pos
+
+    def __repr__(self):  # pragma: no cover
+        return f"_Tok({self.kind}, {self.value!r})"
+
+
+def _lex(text: str) -> List[_Tok]:
+    out: List[_Tok] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "(" and text.startswith("(:", i):
+            depth, i = 1, i + 2
+            while i < n and depth:
+                if text.startswith("(:", i):
+                    depth += 1
+                    i += 2
+                elif text.startswith(":)", i):
+                    depth -= 1
+                    i += 2
+                else:
+                    i += 1
+            continue
+        if ch in "\"'":
+            quote = ch
+            j = text.find(quote, i + 1)
+            if j < 0:
+                raise QueryError(f"unterminated string at {i}")
+            out.append(_Tok("string", text[i + 1:j], i))
+            i = j + 1
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and (text[j].isdigit() or text[j] == "."):
+                j += 1
+            out.append(_Tok("number", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] in "_-"):
+                j += 1
+            # QName with prefix (xs:date) — but not a FLWOR `let $x := ...`.
+            if j < n and text[j] == ":" and j + 1 < n and \
+                    (text[j + 1].isalpha() or text[j + 1] == "_"):
+                k = j + 1
+                while k < n and (text[k].isalnum() or text[k] in "_-"):
+                    k += 1
+                out.append(_Tok("name", text[i:k], i))
+                i = k
+                continue
+            word = text[i:j]
+            out.append(_Tok("keyword" if word in _KEYWORDS else "name", word, i))
+            i = j
+            continue
+        matched = False
+        for op in _TWO_CHAR:
+            if text.startswith(op, i):
+                out.append(_Tok("op", op, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _ONE_CHAR:
+            out.append(_Tok("op", ch, i))
+            i += 1
+            continue
+        raise QueryError(f"unexpected character {ch!r} at {i}")
+    out.append(_Tok("eof", "", n))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+class _N:
+    pass
+
+
+class Lit(_N):
+    def __init__(self, value):
+        self.value = value
+
+
+class Var(_N):
+    def __init__(self, name):
+        self.name = name
+
+
+class ContextItem(_N):
+    pass
+
+
+class Step(_N):
+    """One path step applied to a sequence: child axis name test."""
+
+    def __init__(self, name: str, descendant: bool = False):
+        self.name = name  # '*' = any
+        self.descendant = descendant
+
+
+class Path(_N):
+    def __init__(self, start: Optional[_N], parts: List[_N]):
+        self.start = start  # None => relative to context item
+        self.parts = parts  # Step or Predicate
+
+
+class Predicate(_N):
+    def __init__(self, expr: _N):
+        self.expr = expr
+
+
+class Binary(_N):
+    def __init__(self, op, left, right):
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class Unary(_N):
+    def __init__(self, expr):
+        self.expr = expr
+
+
+class Call(_N):
+    def __init__(self, name, args):
+        self.name = name
+        self.args = args
+
+
+class IfExpr(_N):
+    def __init__(self, cond, then, other):
+        self.cond = cond
+        self.then = then
+        self.other = other
+
+
+class Quantified(_N):
+    def __init__(self, kind, var, seq, body):
+        self.kind = kind  # 'some' | 'every'
+        self.var = var
+        self.seq = seq
+        self.body = body
+
+
+class Flwor(_N):
+    def __init__(self, clauses, where, order, descending, ret):
+        self.clauses = clauses  # list of ('for'|'let', var, expr)
+        self.where = where
+        self.order = order
+        self.descending = descending
+        self.ret = ret
+
+
+class SeqExpr(_N):
+    def __init__(self, items):
+        self.items = items
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+class _Parser:
+    def __init__(self, tokens: List[_Tok]):
+        self.toks = tokens
+        self.i = 0
+
+    def peek(self, k=0) -> _Tok:
+        return self.toks[min(self.i + k, len(self.toks) - 1)]
+
+    def next(self) -> _Tok:
+        tok = self.toks[self.i]
+        if tok.kind != "eof":
+            self.i += 1
+        return tok
+
+    def at(self, kind, value=None, k=0) -> bool:
+        tok = self.peek(k)
+        return tok.kind == kind and (value is None or tok.value == value)
+
+    def expect(self, kind, value=None) -> _Tok:
+        if not self.at(kind, value):
+            tok = self.peek()
+            raise QueryError(
+                f"expected {value or kind!r}, found {tok.value or tok.kind!r} "
+                f"at {tok.pos}")
+        return self.next()
+
+    def parse(self) -> _N:
+        expr = self.expr()
+        self.expect("eof")
+        return expr
+
+    def expr(self) -> _N:
+        items = [self.expr_single()]
+        while self.at("op", ","):
+            self.next()
+            items.append(self.expr_single())
+        return items[0] if len(items) == 1 else SeqExpr(items)
+
+    def expr_single(self) -> _N:
+        if self.at("keyword", "for") or self.at("keyword", "let"):
+            return self.flwor()
+        if self.at("keyword", "if"):
+            return self.if_expr()
+        if self.at("keyword", "some") or self.at("keyword", "every"):
+            return self.quantified()
+        return self.or_expr()
+
+    def flwor(self) -> Flwor:
+        clauses = []
+        while self.at("keyword", "for") or self.at("keyword", "let"):
+            kind = self.next().value
+            while True:
+                self.expect("op", "$")
+                var = self.expect("name").value
+                if kind == "for":
+                    self.expect("keyword", "in")
+                else:
+                    self.expect("op", ":=")
+                clauses.append((kind, var, self.expr_single()))
+                if not self.at("op", ","):
+                    break
+                self.next()
+        where = None
+        if self.at("keyword", "where"):
+            self.next()
+            where = self.expr_single()
+        order = None
+        descending = False
+        if self.at("keyword", "order"):
+            self.next()
+            self.expect("keyword", "by")
+            order = self.expr_single()
+            if self.at("keyword", "descending"):
+                self.next()
+                descending = True
+            elif self.at("keyword", "ascending"):
+                self.next()
+        self.expect("keyword", "return")
+        return Flwor(clauses, where, order, descending, self.expr_single())
+
+    def if_expr(self) -> IfExpr:
+        self.expect("keyword", "if")
+        self.expect("op", "(")
+        cond = self.expr()
+        self.expect("op", ")")
+        self.expect("keyword", "then")
+        then = self.expr_single()
+        self.expect("keyword", "else")
+        other = self.expr_single()
+        return IfExpr(cond, then, other)
+
+    def quantified(self) -> Quantified:
+        kind = self.next().value
+        self.expect("op", "$")
+        var = self.expect("name").value
+        self.expect("keyword", "in")
+        seq = self.expr_single()
+        self.expect("keyword", "satisfies")
+        return Quantified(kind, var, seq, self.expr_single())
+
+    def or_expr(self) -> _N:
+        left = self.and_expr()
+        while self.at("keyword", "or"):
+            self.next()
+            left = Binary("or", left, self.and_expr())
+        return left
+
+    def and_expr(self) -> _N:
+        left = self.cmp_expr()
+        while self.at("keyword", "and"):
+            self.next()
+            left = Binary("and", left, self.cmp_expr())
+        return left
+
+    def cmp_expr(self) -> _N:
+        left = self.add_expr()
+        if self.at("op") and self.peek().value in ("=", "!=", "<", "<=", ">", ">="):
+            op = self.next().value
+            return Binary(op, left, self.add_expr())
+        return left
+
+    def add_expr(self) -> _N:
+        left = self.mul_expr()
+        while self.at("op") and self.peek().value in ("+", "-"):
+            op = self.next().value
+            left = Binary(op, left, self.mul_expr())
+        return left
+
+    def mul_expr(self) -> _N:
+        left = self.unary_expr()
+        while (self.at("op", "*")
+               or self.at("keyword", "div") or self.at("keyword", "mod")):
+            op = self.next().value
+            left = Binary(op, left, self.unary_expr())
+        return left
+
+    def unary_expr(self) -> _N:
+        if self.at("op", "-"):
+            self.next()
+            return Unary(self.unary_expr())
+        return self.path_expr()
+
+    def path_expr(self) -> _N:
+        # Leading '/' or '//' — rooted paths (root is the context root).
+        parts: List[_N] = []
+        start: Optional[_N] = None
+        if self.at("op", "/") or self.at("op", "//"):
+            start = Var("__root__")
+            if self.at("op", "//"):
+                self.next()
+                parts.append(self.step(descendant=True))
+            else:
+                self.next()
+                if self.at("name") or self.at("op", "*"):
+                    parts.append(self.step())
+        else:
+            start_tok = self.peek()
+            if self.at("op", "$"):
+                self.next()
+                start = Var(self.expect("name").value)
+            elif self.at("string"):
+                start = Lit(self.next().value)
+            elif self.at("number"):
+                text = self.next().value
+                start = Lit(float(text) if "." in text else int(text))
+            elif self.at("op", "("):
+                self.next()
+                if self.at("op", ")"):  # empty sequence ()
+                    self.next()
+                    start = SeqExpr([])
+                else:
+                    start = self.expr()
+                    self.expect("op", ")")
+            elif self.at("op", "."):
+                self.next()
+                start = ContextItem()
+            elif self.at("name") and self.at("op", "(", 1):
+                name = self.next().value
+                self.next()  # (
+                args = []
+                if not self.at("op", ")"):
+                    args.append(self.expr_single())
+                    while self.at("op", ","):
+                        self.next()
+                        args.append(self.expr_single())
+                self.expect("op", ")")
+                start = Call(name, args)
+            elif self.at("name") or self.at("op", "*"):
+                parts.append(self.step())
+            else:
+                raise QueryError(
+                    f"unexpected token {start_tok.value or start_tok.kind!r} "
+                    f"at {start_tok.pos}")
+
+        while True:
+            if self.at("op", "/"):
+                self.next()
+                parts.append(self.step())
+            elif self.at("op", "//"):
+                self.next()
+                parts.append(self.step(descendant=True))
+            elif self.at("op", "["):
+                self.next()
+                parts.append(Predicate(self.expr()))
+                self.expect("op", "]")
+            else:
+                break
+        if not parts:
+            return start if start is not None else ContextItem()
+        return Path(start, parts)
+
+    def step(self, descendant: bool = False) -> Step:
+        if self.at("op", "*"):
+            self.next()
+            return Step("*", descendant)
+        name = self.expect("name").value
+        return Step(name, descendant)
+
+
+# ---------------------------------------------------------------------------
+# Evaluator
+# ---------------------------------------------------------------------------
+
+class _Ctx:
+    __slots__ = ("vars", "item", "position", "size")
+
+    def __init__(self, vars: Dict[str, list], item=None,
+                 position: int = 1, size: int = 1):
+        self.vars = vars
+        self.item = item
+        self.position = position
+        self.size = size
+
+    def with_item(self, item, position, size) -> "_Ctx":
+        return _Ctx(self.vars, item, position, size)
+
+    def with_var(self, name, value) -> "_Ctx":
+        vars = dict(self.vars)
+        vars[name] = value
+        return _Ctx(vars, self.item, self.position, self.size)
+
+
+def _atomize(item):
+    if isinstance(item, PNode):
+        return item.value()
+    return item
+
+
+def _atomize_seq(seq) -> list:
+    return [_atomize(x) for x in seq]
+
+
+def _ebv(seq) -> bool:
+    """Effective boolean value."""
+    if not seq:
+        return False
+    first = seq[0]
+    if isinstance(first, PNode):
+        return True
+    if len(seq) > 1:
+        return True
+    if isinstance(first, bool):
+        return first
+    if isinstance(first, (int, float)):
+        return first != 0
+    if isinstance(first, str):
+        return first != ""
+    return True
+
+
+def _coerce_pair(a, b):
+    """Best-effort typed comparison coercion (numbers vs numeric strings)."""
+    if isinstance(a, DateVal) or isinstance(b, DateVal):
+        return a, b
+    if isinstance(a, (int, float)) and isinstance(b, str):
+        try:
+            return a, float(b)
+        except ValueError:
+            return str(a), b
+    if isinstance(b, (int, float)) and isinstance(a, str):
+        try:
+            return float(a), b
+        except ValueError:
+            return a, str(b)
+    return a, b
+
+
+_CMP = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _compare(op: str, left, right) -> bool:
+    """General comparison: existential over both sequences."""
+    fn = _CMP[op]
+    for a in _atomize_seq(left):
+        for b in _atomize_seq(right):
+            a2, b2 = _coerce_pair(a, b)
+            try:
+                if fn(a2, b2):
+                    return True
+            except TypeError:
+                continue
+    return False
+
+
+def _numeric(seq, what: str) -> list:
+    out = []
+    for v in _atomize_seq(seq):
+        if isinstance(v, DateVal):
+            out.append(v.epoch)
+        elif isinstance(v, bool):
+            out.append(int(v))
+        elif isinstance(v, (int, float)):
+            out.append(v)
+        elif isinstance(v, str) and v.strip():
+            try:
+                out.append(float(v))
+            except ValueError:
+                raise QueryError(f"{what}: non-numeric value {v!r}")
+        else:
+            raise QueryError(f"{what}: non-numeric value {v!r}")
+    return out
+
+
+class XQuery:
+    """A compiled query; evaluate with :meth:`run` against a root PNode."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.ast = _Parser(_lex(text)).parse()
+
+    def run(self, root: Optional[PNode] = None, **variables) -> list:
+        vars: Dict[str, list] = {}
+        if root is not None:
+            vars["__root__"] = [root]
+            # A conventional default: the root is also bound to $<its name>.
+            vars.setdefault(root.name, [root])
+        for name, value in variables.items():
+            vars[name] = value if isinstance(value, list) else [value]
+        return self._eval(self.ast, _Ctx(vars))
+
+    # -- dispatch ------------------------------------------------------------------
+
+    def _eval(self, node: _N, ctx: _Ctx) -> list:
+        method = getattr(self, "_eval_" + type(node).__name__)
+        return method(node, ctx)
+
+    def _eval_Lit(self, node: Lit, ctx: _Ctx) -> list:
+        return [node.value]
+
+    def _eval_SeqExpr(self, node: SeqExpr, ctx: _Ctx) -> list:
+        out = []
+        for item in node.items:
+            out.extend(self._eval(item, ctx))
+        return out
+
+    def _eval_Var(self, node: Var, ctx: _Ctx) -> list:
+        if node.name not in ctx.vars:
+            raise QueryError(f"unbound variable ${node.name}")
+        return list(ctx.vars[node.name])
+
+    def _eval_ContextItem(self, node: ContextItem, ctx: _Ctx) -> list:
+        return [ctx.item] if ctx.item is not None else []
+
+    def _eval_Unary(self, node: Unary, ctx: _Ctx) -> list:
+        values = _numeric(self._eval(node.expr, ctx), "unary -")
+        return [-v for v in values]
+
+    def _eval_Binary(self, node: Binary, ctx: _Ctx) -> list:
+        op = node.op
+        if op == "and":
+            return [_ebv(self._eval(node.left, ctx))
+                    and _ebv(self._eval(node.right, ctx))]
+        if op == "or":
+            return [_ebv(self._eval(node.left, ctx))
+                    or _ebv(self._eval(node.right, ctx))]
+        left = self._eval(node.left, ctx)
+        right = self._eval(node.right, ctx)
+        if op in _CMP:
+            return [_compare(op, left, right)]
+        lv = _numeric(left, op)
+        rv = _numeric(right, op)
+        if not lv or not rv:
+            return []
+        a, b = lv[0], rv[0]
+        if op == "+":
+            return [a + b]
+        if op == "-":
+            return [a - b]
+        if op == "*":
+            return [a * b]
+        if op == "div":
+            return [a / b]
+        if op == "mod":
+            return [a % b]
+        raise QueryError(f"unknown operator {op}")
+
+    def _eval_IfExpr(self, node: IfExpr, ctx: _Ctx) -> list:
+        if _ebv(self._eval(node.cond, ctx)):
+            return self._eval(node.then, ctx)
+        return self._eval(node.other, ctx)
+
+    def _eval_Quantified(self, node: Quantified, ctx: _Ctx) -> list:
+        seq = self._eval(node.seq, ctx)
+        results = (_ebv(self._eval(node.body, ctx.with_var(node.var, [item])))
+                   for item in seq)
+        return [any(results) if node.kind == "some" else all(results)]
+
+    def _eval_Flwor(self, node: Flwor, ctx: _Ctx) -> list:
+        tuples: List[_Ctx] = [ctx]
+        for kind, var, expr in node.clauses:
+            if kind == "let":
+                tuples = [t.with_var(var, self._eval(expr, t)) for t in tuples]
+            else:
+                expanded: List[_Ctx] = []
+                for t in tuples:
+                    for item in self._eval(expr, t):
+                        expanded.append(t.with_var(var, [item]))
+                tuples = expanded
+        if node.where is not None:
+            tuples = [t for t in tuples if _ebv(self._eval(node.where, t))]
+        if node.order is not None:
+            def key(t):
+                values = _atomize_seq(self._eval(node.order, t))
+                v = values[0] if values else None
+                return v.epoch if isinstance(v, DateVal) else v
+            tuples.sort(key=key, reverse=node.descending)
+        out = []
+        for t in tuples:
+            out.extend(self._eval(node.ret, t))
+        return out
+
+    def _eval_Path(self, node: Path, ctx: _Ctx) -> list:
+        if node.start is None:
+            seq = [ctx.item] if ctx.item is not None else []
+        else:
+            seq = self._eval(node.start, ctx)
+        for part in node.parts:
+            if isinstance(part, Step):
+                seq = self._apply_step(seq, part)
+            else:
+                seq = self._apply_predicate(seq, part, ctx)
+        return seq
+
+    def _apply_step(self, seq: list, step: Step) -> list:
+        out = []
+        for item in seq:
+            if not isinstance(item, PNode):
+                continue
+            pool = item.descendants()[1:] if step.descendant else item.children
+            if step.name == "*":
+                out.extend(pool)
+            else:
+                out.extend(c for c in pool if c.matches(step.name))
+        return out
+
+    def _apply_predicate(self, seq: list, pred: Predicate, ctx: _Ctx) -> list:
+        out = []
+        size = len(seq)
+        for idx, item in enumerate(seq, start=1):
+            inner = ctx.with_item(item, idx, size)
+            value = self._eval(pred.expr, inner)
+            if len(value) == 1 and isinstance(value[0], (int, float)) \
+                    and not isinstance(value[0], bool):
+                if idx == value[0]:
+                    out.append(item)
+            elif _ebv(value):
+                out.append(item)
+        return out
+
+    def _eval_Step(self, node: Step, ctx: _Ctx) -> list:
+        return self._apply_step([ctx.item] if ctx.item is not None else [], node)
+
+    # -- functions -------------------------------------------------------------------
+
+    def _eval_Call(self, node: Call, ctx: _Ctx) -> list:
+        args = [self._eval(a, ctx) for a in node.args]
+        name = node.name
+
+        if name == "count":
+            return [len(args[0])]
+        if name == "exists":
+            return [bool(args[0])]
+        if name == "empty":
+            return [not args[0]]
+        if name == "not":
+            return [not _ebv(args[0])]
+        if name == "position":
+            return [ctx.position]
+        if name == "last":
+            return [ctx.size]
+        if name in ("sum", "avg", "min", "max"):
+            values = _numeric(args[0], name)
+            if not values:
+                return [0] if name == "sum" else []
+            if name == "sum":
+                return [sum(values)]
+            if name == "avg":
+                return [sum(values) / len(values)]
+            return [min(values) if name == "min" else max(values)]
+        if name == "string":
+            seq = args[0] if args else ([ctx.item] if ctx.item else [])
+            if not seq:
+                return [""]
+            item = seq[0]
+            return [item.text() if isinstance(item, PNode) else str(item)]
+        if name == "number":
+            values = _numeric(args[0], name)
+            return [values[0]] if values else []
+        if name == "name":
+            seq = args[0] if args else ([ctx.item] if ctx.item else [])
+            return [seq[0].name] if seq and isinstance(seq[0], PNode) else [""]
+        if name == "contains":
+            return [str(_atomize(args[0][0])) .find(str(_atomize(args[1][0]))) >= 0
+                    if args[0] and args[1] else False]
+        if name == "starts-with":
+            return [str(_atomize(args[0][0])).startswith(str(_atomize(args[1][0])))
+                    if args[0] and args[1] else False]
+        if name == "ends-with":
+            return [str(_atomize(args[0][0])).endswith(str(_atomize(args[1][0])))
+                    if args[0] and args[1] else False]
+        if name == "string-length":
+            return [len(str(_atomize(args[0][0])))] if args[0] else [0]
+        if name == "distinct-values":
+            seen, out = set(), []
+            for v in _atomize_seq(args[0]):
+                key = v.epoch if isinstance(v, DateVal) else v
+                if key not in seen:
+                    seen.add(key)
+                    out.append(v)
+            return out
+        if name in ("xs:date", "xs:dateTime"):
+            text = str(_atomize(args[0][0]))
+            for fmt in ("%Y-%m-%d", "%Y-%m-%dT%H:%M:%S"):
+                try:
+                    dt = _dt.datetime.strptime(text, fmt)
+                    dt = dt.replace(tzinfo=_dt.timezone.utc)
+                    return [DateVal.from_datetime(dt, text)]
+                except ValueError:
+                    continue
+            raise QueryError(f"cannot parse {name}({text!r})")
+        if name == "xs:integer":
+            return [int(_atomize(args[0][0]))]
+        raise QueryError(f"unknown function {name}()")
+
+
+def query(text: str, root: Optional[PNode] = None, **variables) -> list:
+    """Parse and run a query in one step."""
+    return XQuery(text).run(root, **variables)

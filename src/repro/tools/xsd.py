@@ -1,0 +1,147 @@
+"""XML Schema generation for the canonical embedding (paper Section 5.3.2).
+
+"Given a PADS specification, the PADS compiler generates an XML Schema
+describing the canonical embedding for that data source."  The paper
+prints the fragment for the Sirius ``eventSeq`` type; this module
+generates that shape for every declared type: a ``<name>_pd`` complex type
+describing the embedded parse descriptor and a ``<name>`` complex type
+describing the value (with an optional trailing ``pd`` element).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.types import (
+    AppNode,
+    ArrayNode,
+    BaseNode,
+    EnumNode,
+    OptNode,
+    PType,
+    RecordNode,
+    StructNode,
+    SwitchUnionNode,
+    TypedefNode,
+    UnionNode,
+)
+
+
+def _base_xsd(node: BaseNode) -> str:
+    inst = node._static
+    if inst is not None:
+        return inst.xsd_type()
+    return "xs:string"
+
+
+def _element_type(node: PType, owner: str, field: str) -> str:
+    """The XSD type name used for a child element."""
+    while isinstance(node, RecordNode):
+        node = node.inner
+    if isinstance(node, AppNode):
+        return node.name
+    if isinstance(node, BaseNode):
+        return _base_xsd(node)
+    if isinstance(node, OptNode):
+        return _element_type(node.inner, owner, field)
+    if isinstance(node, TypedefNode):
+        return node.name
+    return node.name
+
+
+def _pd_complex_type(name: str, is_array: bool) -> List[str]:
+    lines = [f'<xs:complexType name="{name}_pd">',
+             "  <xs:sequence>",
+             '    <xs:element name="pstate" type="Pflags_t"/>',
+             '    <xs:element name="nerr" type="Puint32"/>',
+             '    <xs:element name="errCode" type="PerrCode_t"/>',
+             '    <xs:element name="loc" type="Ploc_t"/>']
+    if is_array:
+        lines.append('    <xs:element name="neerr" type="Puint32"/>')
+        lines.append('    <xs:element name="firstError" type="Puint32"/>')
+        lines.append('    <xs:element name="elt" type="Puint32"\n'
+                     '        minOccurs="0" maxOccurs="unbounded"/>')
+    lines.extend(["  </xs:sequence>", "</xs:complexType>"])
+    return lines
+
+
+def schema_for_type(name: str, node: PType) -> str:
+    """The XML Schema fragment for one declared type (paper's eventSeq
+    example)."""
+    while isinstance(node, RecordNode):
+        node = node.inner
+
+    lines: List[str] = []
+    if isinstance(node, ArrayNode):
+        lines.extend(_pd_complex_type(name, is_array=True))
+        lines.append("")
+        lines.append(f'<xs:complexType name="{name}">')
+        lines.append("  <xs:sequence>")
+        elt_type = _element_type(node.elt, name, "elt")
+        lines.append(f'    <xs:element name="elt" type="{elt_type}"\n'
+                     '        minOccurs="0" maxOccurs="unbounded"/>')
+        lines.append('    <xs:element name="length" type="Puint32"/>')
+        lines.append(f'    <xs:element name="pd" type="{name}_pd"\n'
+                     '        minOccurs="0" maxOccurs="1"/>')
+        lines.append("  </xs:sequence>")
+        lines.append("</xs:complexType>")
+        return "\n".join(lines)
+
+    lines.extend(_pd_complex_type(name, is_array=False))
+    lines.append("")
+    lines.append(f'<xs:complexType name="{name}">')
+    if isinstance(node, StructNode):
+        lines.append("  <xs:sequence>")
+        for f in node.fields:
+            if f.kind == "literal":
+                continue
+            if f.kind == "compute":
+                lines.append(f'    <xs:element name="{f.name}" type="xs:long"/>')
+                continue
+            ftype = _element_type(f.node, name, f.name)
+            optional = ' minOccurs="0"' if isinstance(f.node, OptNode) else ""
+            lines.append(f'    <xs:element name="{f.name}" '
+                         f'type="{ftype}"{optional}/>')
+        lines.append(f'    <xs:element name="pd" type="{name}_pd"\n'
+                     '        minOccurs="0" maxOccurs="1"/>')
+        lines.append("  </xs:sequence>")
+    elif isinstance(node, (UnionNode, SwitchUnionNode)):
+        branches = node.branches if isinstance(node, UnionNode) else node.cases
+        lines.append("  <xs:choice>")
+        for br in branches:
+            btype = _element_type(br.node, name, br.name)
+            lines.append(f'    <xs:element name="{br.name}" type="{btype}"/>')
+        lines.append(f'    <xs:element name="pd" type="{name}_pd"/>')
+        lines.append("  </xs:choice>")
+    elif isinstance(node, EnumNode):
+        lines[-1] = f'<xs:simpleType name="{name}">'
+        lines.append('  <xs:restriction base="xs:string">')
+        for item_name, _, _ in node.items:
+            lines.append(f'    <xs:enumeration value="{item_name}"/>')
+        lines.append("  </xs:restriction>")
+        lines.append(f"</xs:simpleType>")
+        return "\n".join(lines)
+    elif isinstance(node, TypedefNode):
+        lines.append("  <xs:sequence>")
+        lines.append(f'    <xs:element name="value" '
+                     f'type="{_element_type(node.base, name, "value")}"/>')
+        lines.append(f'    <xs:element name="pd" type="{name}_pd"\n'
+                     '        minOccurs="0" maxOccurs="1"/>')
+        lines.append("  </xs:sequence>")
+    else:
+        lines.append("  <xs:sequence>")
+        lines.append('    <xs:element name="value" type="xs:string"/>')
+        lines.append("  </xs:sequence>")
+    lines.append("</xs:complexType>")
+    return "\n".join(lines)
+
+
+def schema_for_description(description) -> str:
+    """A complete XML Schema for every type in a description."""
+    parts = ['<?xml version="1.0"?>',
+             '<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">']
+    for name in description.type_names:
+        parts.append("")
+        parts.append(schema_for_type(name, description.node(name)))
+    parts.append("</xs:schema>")
+    return "\n".join(parts)

@@ -1,0 +1,1 @@
+"""Small shared utilities (regex sampling, text helpers)."""

@@ -1,0 +1,232 @@
+"""Generate random strings matching a (simple) regular expression.
+
+The data generator (:mod:`repro.tools.datagen`) needs to synthesise values
+for regex-constrained base types such as ``Pstring_ME``.  This module
+implements a small sampler over a practical regex subset:
+
+* literals and escapes (``\\d``, ``\\w``, ``\\s``, escaped metacharacters),
+* character classes ``[a-z0-9_]`` including ranges and negation,
+* groups ``(...)`` (capturing and ``(?:...)``),
+* alternation ``a|b``,
+* quantifiers ``?``, ``*``, ``+``, ``{m}``, ``{m,n}`` (unbounded repetition
+  is capped at a small limit so outputs stay short),
+* ``.`` (any printable character except newline), and the anchors ``^`` /
+  ``$`` (ignored: sampling is whole-string).
+
+The sampler is validated against :func:`re.fullmatch` — ``sample`` retries
+on the rare subset mismatch and raises if the pattern is outside the
+supported subset.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+import string
+from typing import List, Tuple
+
+_PRINTABLE = string.ascii_letters + string.digits + " !#$%&()*+,-./:;<=>?@[]^_{|}~"
+_MAX_REPEAT = 4
+
+
+class RegexSampleError(ValueError):
+    pass
+
+
+class _Gen:
+    def __init__(self, pattern: str, rng: random.Random):
+        self.pattern = pattern
+        self.rng = rng
+        self.pos = 0
+
+    def fail(self, message: str) -> RegexSampleError:
+        return RegexSampleError(f"{message} at {self.pos} in {self.pattern!r}")
+
+    def peek(self) -> str:
+        return self.pattern[self.pos] if self.pos < len(self.pattern) else ""
+
+    def next(self) -> str:
+        ch = self.peek()
+        self.pos += 1
+        return ch
+
+    # alternation := concat ('|' concat)*
+    def alternation(self, stop: str = "") -> str:
+        options: List[str] = [self.concat(stop)]
+        while self.peek() == "|":
+            self.next()
+            options.append(self.concat(stop))
+        return self.rng.choice(options)
+
+    def concat(self, stop: str) -> str:
+        parts: List[str] = []
+        while self.pos < len(self.pattern):
+            ch = self.peek()
+            if ch == "|" or (stop and ch == stop):
+                break
+            parts.append(self.piece())
+        return "".join(parts)
+
+    def piece(self) -> str:
+        atom_start = self.pos
+        produce = self.atom()
+        lo, hi = self.quantifier()
+        if (lo, hi) == (1, 1):
+            return produce()
+        count = self.rng.randint(lo, hi)
+        # Re-run the atom for each repetition so classes vary.
+        out = []
+        for _ in range(count):
+            save = self.pos
+            self.pos = atom_start
+            out.append(self.atom()())
+            self.pos = save
+        return "".join(out)
+
+    def quantifier(self) -> Tuple[int, int]:
+        ch = self.peek()
+        if ch == "?":
+            self.next()
+            return 0, 1
+        if ch == "*":
+            self.next()
+            return 0, _MAX_REPEAT
+        if ch == "+":
+            self.next()
+            return 1, _MAX_REPEAT
+        if ch == "{":
+            close = self.pattern.find("}", self.pos)
+            if close < 0:
+                raise self.fail("unterminated {…} quantifier")
+            body = self.pattern[self.pos + 1:close]
+            self.pos = close + 1
+            if "," in body:
+                lo_s, hi_s = body.split(",", 1)
+                lo = int(lo_s) if lo_s else 0
+                hi = int(hi_s) if hi_s else lo + _MAX_REPEAT
+            else:
+                lo = hi = int(body)
+            return lo, hi
+        return 1, 1
+
+    def atom(self):
+        ch = self.next()
+        if ch == "(":
+            if self.pattern.startswith("?:", self.pos):
+                self.pos += 2
+            elif self.peek() == "?":
+                raise self.fail("unsupported group flags")
+            start = self.pos
+            # Capture the group body span, then sample it.
+            depth = 1
+            i = self.pos
+            while i < len(self.pattern) and depth:
+                c = self.pattern[i]
+                if c == "\\":
+                    i += 1
+                elif c == "(":
+                    depth += 1
+                elif c == ")":
+                    depth -= 1
+                i += 1
+            if depth:
+                raise self.fail("unterminated group")
+            body = self.pattern[start:i - 1]
+            self.pos = i
+            rng = self.rng
+            return lambda: _Gen(body, rng).alternation()
+        if ch == "[":
+            chars = self.char_class()
+            rng = self.rng
+            return lambda: rng.choice(chars)
+        if ch == "\\":
+            return self.escape()
+        if ch == ".":
+            rng = self.rng
+            return lambda: rng.choice(_PRINTABLE)
+        if ch in ("^", "$"):
+            return lambda: ""
+        if ch in ")]}*+?{|":
+            raise self.fail(f"unexpected metacharacter {ch!r}")
+        return lambda: ch
+
+    def escape(self):
+        ch = self.next()
+        rng = self.rng
+        if ch == "d":
+            return lambda: rng.choice(string.digits)
+        if ch == "w":
+            return lambda: rng.choice(string.ascii_letters + string.digits + "_")
+        if ch == "s":
+            return lambda: " "
+        if ch == "D":
+            return lambda: rng.choice(string.ascii_letters)
+        if ch == "W":
+            return lambda: rng.choice(" -/")
+        if ch == "S":
+            return lambda: rng.choice(string.ascii_letters + string.digits)
+        if ch in ".^$*+?()[]{}|\\/-":
+            return lambda: ch
+        if ch == "n":
+            return lambda: "\n"
+        if ch == "t":
+            return lambda: "\t"
+        if ch == "r":
+            return lambda: "\r"
+        raise self.fail(f"unsupported escape \\{ch}")
+
+    def char_class(self) -> str:
+        negate = False
+        if self.peek() == "^":
+            negate = True
+            self.next()
+        chars: List[str] = []
+        first = True
+        while True:
+            ch = self.peek()
+            if ch == "":
+                raise self.fail("unterminated character class")
+            if ch == "]" and not first:
+                self.next()
+                break
+            first = False
+            self.next()
+            if ch == "\\":
+                esc = self.next()
+                mapped = {"d": string.digits, "w": string.ascii_letters + string.digits + "_",
+                          "s": " \t", "n": "\n", "t": "\t", "r": "\r"}.get(esc)
+                if mapped is not None:
+                    chars.extend(mapped)
+                    continue
+                ch = esc
+            if self.peek() == "-" and self.pos + 1 < len(self.pattern) and self.pattern[self.pos + 1] != "]":
+                self.next()
+                hi = self.next()
+                if hi == "\\":
+                    hi = self.next()
+                chars.extend(chr(c) for c in range(ord(ch), ord(hi) + 1))
+            else:
+                chars.append(ch)
+        if negate:
+            allowed = [c for c in _PRINTABLE if c not in set(chars)]
+            if not allowed:
+                raise self.fail("empty negated class")
+            return "".join(allowed)
+        if not chars:
+            raise self.fail("empty character class")
+        return "".join(chars)
+
+
+def sample_regex(pattern: str, rng: random.Random, attempts: int = 20) -> str:
+    """A random string matching ``pattern`` (validated with re.fullmatch)."""
+    compiled = re.compile(pattern)
+    last = ""
+    for _ in range(attempts):
+        gen = _Gen(pattern, rng)
+        last = gen.alternation()
+        if gen.pos != len(pattern):
+            raise RegexSampleError(f"trailing junk in {pattern!r}")
+        if compiled.fullmatch(last):
+            return last
+    raise RegexSampleError(
+        f"could not generate a match for {pattern!r} (last attempt {last!r})")

@@ -1,0 +1,32 @@
+"""Shared fixtures: compiled paper descriptions and tiny helpers."""
+
+import random
+
+import pytest
+
+from repro import gallery
+
+
+@pytest.fixture(scope="session")
+def clf():
+    return gallery.load_clf()
+
+
+@pytest.fixture(scope="session")
+def sirius():
+    return gallery.load_sirius()
+
+
+@pytest.fixture(scope="session")
+def call_detail():
+    return gallery.load_call_detail()
+
+
+@pytest.fixture(scope="session")
+def netflow():
+    return gallery.load_netflow()
+
+
+@pytest.fixture
+def rng():
+    return random.Random(20050612)  # PLDI 2005 week

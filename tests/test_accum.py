@@ -1,0 +1,134 @@
+"""Tests for accumulators (paper Section 5.2)."""
+
+import random
+
+import pytest
+
+from repro import compile_description, gallery
+from repro.tools.accum import Accumulator, ScalarAccum, accumulate_records
+from repro.tools.datagen import clf_workload
+
+
+class TestScalarAccum:
+    def test_good_bad_counts(self):
+        acc = ScalarAccum("int")
+        from repro.core.errors import ErrCode, Loc, Pd
+        acc.add(5, None)
+        acc.add(7, None)
+        bad = Pd()
+        bad.record_error(ErrCode.INVALID_INT, Loc())
+        acc.add(None, bad)
+        assert acc.good == 2 and acc.bad == 1
+        assert acc.total_count == 3
+        assert acc.pcnt_bad() == pytest.approx(100.0 / 3)
+
+    def test_numeric_stats(self):
+        acc = ScalarAccum("int")
+        for v in (35, 100, 248591):
+            acc.add(v, None)
+        assert acc.min == 35 and acc.max == 248591
+        assert acc.total == 35 + 100 + 248591
+
+    def test_top_k(self):
+        acc = ScalarAccum("int")
+        for v in [1] * 5 + [2] * 3 + [3]:
+            acc.add(v, None)
+        assert acc.top(2) == [(1, 5), (2, 3)]
+
+    def test_tracking_limit(self):
+        acc = ScalarAccum("int", tracked=10)
+        for v in range(50):
+            acc.add(v, None)
+        assert len(acc.values) == 10
+        assert acc.tracked_count == 10  # only first 10 distinct tracked
+
+    def test_tracked_percentage_counts_repeats(self):
+        acc = ScalarAccum("int", tracked=1)
+        for v in (7, 7, 8, 7):
+            acc.add(v, None)
+        # 3 of 4 adds hit the tracked value 7.
+        assert acc.tracked_count == 3
+
+    def test_error_code_histogram(self):
+        from repro.core.errors import ErrCode, Loc, Pd
+        acc = ScalarAccum("int")
+        for code in (ErrCode.INVALID_INT, ErrCode.INVALID_INT, ErrCode.RANGE_ERR):
+            pd = Pd()
+            pd.record_error(code, Loc())
+            acc.add(None, pd)
+        assert acc.err_codes == {"INVALID_INT": 2, "RANGE_ERR": 1}
+
+    def test_report_layout_matches_paper(self):
+        acc = ScalarAccum("int")
+        for v in (30, 941):
+            acc.add(v, None)
+        report = acc.report("<top>.length", "uint32")
+        lines = report.splitlines()
+        assert lines[0] == "<top>.length : uint32"
+        assert set(lines[1]) == {"+"}
+        assert lines[2].startswith("good: 2 bad: 0 pcnt-bad:")
+        assert "min: 30 max: 941 avg: 485.500" in report
+        assert "SUMMING count:" in report
+
+
+class TestStructuredAccum:
+    def test_struct_children(self, clf):
+        acc, _, n = accumulate_records(clf, gallery.CLF_SAMPLE, "entry_t")
+        assert n == 2
+        assert acc.field("length").self_acc.good == 2
+        assert acc.field("response").self_acc.good == 2
+
+    def test_union_tag_distribution(self, clf):
+        acc, _, _ = accumulate_records(clf, gallery.CLF_SAMPLE, "entry_t")
+        client = acc.field("client")
+        assert client.self_acc.values == {"ip": 1, "host": 1}
+
+    def test_opt_presence(self, sirius):
+        body = gallery.SIRIUS_SAMPLE.split("\n", 1)[1]
+        acc, _, _ = accumulate_records(sirius, body, "entry_t")
+        zips = acc.field("header.zip_code")
+        assert zips.self_acc.values == {"SOME": 1, "NONE": 1}
+
+    def test_array_lengths_and_elements(self, sirius):
+        body = gallery.SIRIUS_SAMPLE.split("\n", 1)[1]
+        acc, _, _ = accumulate_records(sirius, body, "entry_t")
+        events = acc.field("events")
+        assert events.lengths.values == {1: 1, 2: 1}
+        states = acc.field("events[].state")
+        assert states.self_acc.good == 3
+
+    def test_header_type(self, sirius):
+        acc, header_acc, n = accumulate_records(
+            sirius, gallery.SIRIUS_SAMPLE, "entry_t",
+            header_type="summary_header_t")
+        assert n == 2
+        assert header_acc.field("tstamp").self_acc.values == {1005022800: 1}
+
+    def test_full_report_covers_nested_fields(self, clf):
+        acc, _, _ = accumulate_records(clf, gallery.CLF_SAMPLE, "entry_t")
+        report = acc.full_report()
+        for path in ("<top>.client", "<top>.request.meth", "<top>.length"):
+            assert path in report
+
+
+class TestPaperDiscoveries:
+    def test_dash_length_discovery(self, clf, rng):
+        """Section 5.2's punchline: ~6.666% of CLF length fields hold '-'."""
+        data = clf_workload(3000, rng, dash_rate=0.06666)
+        acc, _, n = accumulate_records(clf, data, "entry_t")
+        length = acc.field("length")
+        assert n == 3000
+        assert 4.0 < length.self_acc.pcnt_bad() < 10.0
+        assert length.self_acc.err_codes.get("INVALID_INT", 0) == length.self_acc.bad
+
+    def test_missing_value_representations_surface(self, sirius, rng):
+        """Section 5.2: accumulators revealed the two representations of
+        missing phone numbers (NONE and 0)."""
+        from repro.tools.datagen import sirius_workload
+        data = sirius_workload(500, rng, syntax_errors=0, sort_violations=0)
+        body = data.split(b"\n", 1)[1]
+        acc, _, _ = accumulate_records(sirius, body, "entry_t")
+        billing = acc.field("header.billing_tn")
+        assert "NONE" in billing.self_acc.values
+        numbers = billing.children["some"].self_acc.values
+        assert 0 in numbers  # the zero representation shows up among values

@@ -1,0 +1,109 @@
+"""Tests for the ``padsc`` command line."""
+
+import sys
+
+import pytest
+
+from repro import gallery
+from repro.tools.padsc import main
+
+
+@pytest.fixture
+def clf_file(tmp_path):
+    path = tmp_path / "clf.pads"
+    path.write_text(gallery.CLF)
+    return str(path)
+
+
+@pytest.fixture
+def clf_data(tmp_path):
+    path = tmp_path / "clf.log"
+    path.write_text(gallery.CLF_SAMPLE)
+    return str(path)
+
+
+@pytest.fixture
+def sirius_file(tmp_path):
+    path = tmp_path / "sirius.pads"
+    path.write_text(gallery.SIRIUS)
+    return str(path)
+
+
+@pytest.fixture
+def sirius_data(tmp_path):
+    path = tmp_path / "sirius.dat"
+    path.write_text(gallery.SIRIUS_SAMPLE)
+    return str(path)
+
+
+class TestCheckAndCompile:
+    def test_check_ok(self, clf_file, capsys):
+        assert main(["check", clf_file]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_check_bad_description(self, tmp_path, capsys):
+        path = tmp_path / "bad.pads"
+        path.write_text("Pstruct p { Pnosuch x; };")
+        assert main(["check", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_compile_produces_importable_module(self, clf_file, tmp_path, capsys):
+        out = str(tmp_path / "clf_parser.py")
+        assert main(["compile", clf_file, "-o", out]) == 0
+        sys.path.insert(0, str(tmp_path))
+        try:
+            import clf_parser  # noqa: F401
+            src = clf_parser.Source.from_bytes(gallery.CLF_SAMPLE.encode())
+            rep, pd = clf_parser.entry_t_parse(src)
+            assert pd.nerr == 0 and rep.response == 200
+        finally:
+            sys.path.remove(str(tmp_path))
+            sys.modules.pop("clf_parser", None)
+
+
+class TestDataTools:
+    def test_accum(self, clf_file, clf_data, capsys):
+        assert main(["accum", clf_file, clf_data, "--record", "entry_t",
+                     "--field", "length"]) == 0
+        out = capsys.readouterr().out
+        assert "good: 2 bad: 0" in out
+        assert "<top>.length" in out
+
+    def test_fmt_reproduces_figure8(self, clf_file, clf_data, capsys):
+        assert main(["fmt", clf_file, clf_data, "--record", "entry_t",
+                     "--delims", "|", "--date-format", "%D:%T"]) == 0
+        out = capsys.readouterr().out
+        assert out == gallery.CLF_FORMATTED
+
+    def test_xml(self, sirius_file, sirius_data, capsys):
+        assert main(["xml", sirius_file, sirius_data, "--record",
+                     "entry_t"]) == 0
+        out = capsys.readouterr().out
+        assert "<order_num>9152</order_num>" in out
+
+    def test_xsd(self, sirius_file, capsys):
+        assert main(["xsd", sirius_file, "--type", "eventSeq"]) == 0
+        out = capsys.readouterr().out
+        assert '<xs:complexType name="eventSeq_pd">' in out
+
+    def test_query(self, sirius_file, sirius_data, capsys):
+        assert main(["query", sirius_file, sirius_data,
+                     "/es/entry/header/order_num", "--root", "sirius"]) == 0
+        out = capsys.readouterr().out.split()
+        assert out == ["9152", "9153"]
+
+    def test_gen_roundtrip(self, clf_file, tmp_path, capsys):
+        out = str(tmp_path / "gen.log")
+        assert main(["gen", clf_file, "--type", "entry_t", "-n", "5",
+                     "--seed", "3", "-o", out]) == 0
+        assert main(["accum", clf_file, out, "--record", "entry_t",
+                     "--field", "response"]) == 0
+        assert "good: 5 bad: 0" in capsys.readouterr().out
+
+    def test_cobol(self, tmp_path, capsys):
+        import importlib.resources as res
+        cpy = tmp_path / "billing.cpy"
+        cpy.write_text((res.files("repro.gallery") / "billing.cpy").read_text())
+        assert main(["cobol", str(cpy)]) == 0
+        out = capsys.readouterr().out
+        assert "Precord Pstruct billing_record_t" in out

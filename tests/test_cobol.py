@@ -1,0 +1,173 @@
+"""Tests for the Cobol copybook translator (paper Section 5.2)."""
+
+import random
+
+import pytest
+
+from repro.tools.cobol import (
+    CopybookError,
+    Item,
+    Picture,
+    parse_copybook,
+    parse_picture,
+    translate,
+)
+
+
+class TestPictureClauses:
+    @pytest.mark.parametrize("text,category,digits,decimals,signed", [
+        ("X(10)", "alnum", 10, 0, False),
+        ("XXX", "alnum", 3, 0, False),
+        ("A(5)", "alnum", 5, 0, False),
+        ("9(7)", "num", 7, 0, False),
+        ("999", "num", 3, 0, False),
+        ("S9(5)", "num", 5, 0, True),
+        ("S9(7)V99", "num", 7, 2, True),
+        ("9(3)V9(4)", "num", 3, 4, False),
+    ])
+    def test_parse(self, text, category, digits, decimals, signed):
+        pic = parse_picture(text)
+        assert (pic.category, pic.digits, pic.decimals, pic.signed) == \
+            (category, digits, decimals, signed)
+
+    def test_mixed_rejected(self):
+        with pytest.raises(CopybookError):
+            parse_picture("X9X")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(CopybookError):
+            parse_picture("Z(3)")
+
+
+class TestCopybookParsing:
+    SIMPLE = """
+       01  REC.
+           05  NAME     PIC X(10).
+           05  AMOUNT   PIC S9(5)V99 COMP-3.
+           05  COUNTS OCCURS 4 TIMES PIC 9(3) COMP.
+    """
+
+    def test_structure(self):
+        roots = parse_copybook(self.SIMPLE)
+        assert len(roots) == 1
+        rec = roots[0]
+        assert rec.name == "rec" and rec.is_group
+        assert [c.name for c in rec.children] == ["name", "amount", "counts"]
+
+    def test_widths(self):
+        rec = parse_copybook(self.SIMPLE)[0]
+        name, amount, counts = rec.children
+        assert name.byte_width() == 10
+        assert amount.byte_width() == 4   # 7 digits packed + sign
+        assert counts.byte_width() == 8   # 4 * 2-byte COMP
+        assert rec.byte_width() == 22
+
+    def test_nested_groups(self):
+        roots = parse_copybook("""
+           01 A.
+              05 B.
+                 10 C PIC 9(2).
+                 10 D PIC 9(2).
+              05 E PIC X(1).
+        """)
+        a = roots[0]
+        assert [c.name for c in a.children] == ["b", "e"]
+        assert [c.name for c in a.children[0].children] == ["c", "d"]
+        assert a.byte_width() == 5
+
+    def test_comment_lines_skipped(self):
+        roots = parse_copybook("""
+      * a comment in column 7
+       01 A.
+           05 B PIC X(2).
+        """)
+        assert roots[0].byte_width() == 2
+
+    def test_88_levels_ignored(self):
+        roots = parse_copybook("""
+           01 A.
+              05 B PIC X(1).
+                 88 B-IS-YES VALUE 'Y'.
+        """)
+        assert [c.name for c in roots[0].children] == ["b"]
+
+    def test_filler_items_named(self):
+        roots = parse_copybook("""
+           01 A.
+              05 FILLER PIC X(3).
+              05 FILLER PIC X(2).
+        """)
+        names = [c.name for c in roots[0].children]
+        assert names == ["filler_1", "filler_2"]
+
+    def test_value_clause_ignored(self):
+        roots = parse_copybook("""
+           01 A.
+              05 B PIC 9(2) VALUE 42.
+        """)
+        assert roots[0].children[0].pic.digits == 2
+
+    def test_unsupported_clause_raises(self):
+        with pytest.raises(CopybookError):
+            parse_copybook("01 A PIC X(1) WEIRDCLAUSE.")
+
+
+class TestTranslation:
+    def test_billing_copybook_roundtrips(self, rng):
+        from repro import gallery
+        import importlib.resources as res
+        text = (res.files("repro.gallery") / "billing.cpy").read_text()
+        tr = translate(text, "billing.cpy")
+        assert tr.record_width == 58
+        d = tr.compile()
+        reps = [d.generate(tr.record_type, rng) for _ in range(10)]
+        data = b"".join(d.write(r, tr.record_type) for r in reps)
+        assert len(data) == 10 * tr.record_width
+        out = list(d.records(data, tr.record_type))
+        assert all(pd.nerr == 0 for _, pd in out)
+        assert [r for r, _ in out] == reps
+
+    def test_leaf_type_mapping(self):
+        tr = translate("""
+           01 R.
+              05 A PIC X(4).
+              05 B PIC S9(3)V99 COMP-3.
+              05 C PIC 9(8) COMP.
+              05 D PIC 9(6).
+        """)
+        assert "Pstring_FW(:4:) a;" in tr.pads_source
+        assert "Pbcd_FW(:5, 2:) b;" in tr.pads_source
+        assert "Pb_uint32_be c;" in tr.pads_source
+        assert "Pzoned_FW(:6:) d;" in tr.pads_source
+
+    def test_redefines_becomes_union(self):
+        tr = translate("""
+           01 R.
+              05 RAW        PIC X(8).
+              05 AS-NUM REDEFINES RAW PIC 9(8).
+        """)
+        assert "Punion raw_overlay_t" in tr.pads_source
+        assert "Pstring_FW(:8:) raw;" in tr.pads_source
+        assert "Pzoned_FW(:8:) as_num;" in tr.pads_source
+
+    def test_occurs_becomes_array(self):
+        tr = translate("""
+           01 R.
+              05 XS OCCURS 5 TIMES PIC 9(2).
+        """)
+        assert "Parray xs_seq_t" in tr.pads_source
+        assert "[5];" in tr.pads_source
+
+    def test_zoned_and_packed_values_survive(self, rng):
+        tr = translate("""
+           01 R.
+              05 Z PIC S9(4).
+              05 P PIC S9(5)V9(2) COMP-3.
+        """)
+        d = tr.compile()
+        rep = d.generate(tr.record_type, rng)
+        data = d.write(rep, tr.record_type)
+        back, pd = d.parse(data, tr.record_type)
+        assert pd.nerr == 0
+        assert back.z == rep.z
+        assert back.p == pytest.approx(rep.p)

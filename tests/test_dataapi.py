@@ -1,0 +1,85 @@
+"""Tests for the Galax-style data API (paper Section 5.4 / Figure 6)."""
+
+import pytest
+
+from repro import compile_description, gallery
+from repro.tools.dataapi import PNode, node_new
+
+
+@pytest.fixture(scope="module")
+def sirius_root(sirius):
+    rep, pd = sirius.parse(gallery.SIRIUS_SAMPLE)
+    return node_new(sirius, rep, pd, None, name="sirius")
+
+
+class TestNavigation:
+    def test_root_children(self, sirius_root):
+        names = [c.name for c in sirius_root.children]
+        assert names == ["h", "es"]
+
+    def test_kth_child(self, sirius_root):
+        assert sirius_root.kth_child(0).name == "h"
+        assert sirius_root.kth_child(1).name == "es"
+        assert sirius_root.kth_child(5) is None
+
+    def test_array_children_use_element_type_name(self, sirius_root):
+        es = sirius_root.kth_child_named("es")
+        labels = {c.name for c in es.children}
+        assert labels == {"entry"}
+        assert all(c.type_name == "entry_t" for c in es.children)
+
+    def test_matches_by_field_type_or_stripped_name(self, sirius_root):
+        entry = sirius_root.kth_child_named("es").kth_child(0)
+        assert entry.matches("entry")
+        assert entry.matches("entry_t")
+
+    def test_leaf_values_are_typed(self, sirius_root):
+        header = (sirius_root.kth_child_named("es").kth_child(0)
+                  .kth_child_named("header"))
+        assert header.kth_child_named("order_num").value() == 9152
+        assert header.kth_child_named("zip_code").value() == "07988"
+
+    def test_union_projects_single_child(self, sirius_root):
+        header = (sirius_root.kth_child_named("es").kth_child(0)
+                  .kth_child_named("header"))
+        ramp = header.kth_child_named("ramp")
+        kids = ramp.children
+        assert len(kids) == 1 and kids[0].name == "genRamp"
+
+    def test_parent_links(self, sirius_root):
+        es = sirius_root.kth_child_named("es")
+        assert es.parent is sirius_root
+        assert es.kth_child(0).parent is es
+
+    def test_text_concatenates(self, sirius_root):
+        h = sirius_root.kth_child_named("h")
+        assert h.text() == "1005022800"
+
+    def test_descendants(self, sirius_root):
+        names = [n.name for n in sirius_root.descendants()]
+        assert "order_num" in names and "state" in names
+
+    def test_laziness(self, sirius):
+        rep, pd = sirius.parse(gallery.SIRIUS_SAMPLE)
+        root = node_new(sirius, rep, pd, None, name="sirius")
+        assert root._children is None
+        root.children
+        assert root._children is not None
+        # Grandchildren still unmaterialised.
+        assert root._children[1]._children is None
+
+
+class TestPdChildren:
+    def test_buggy_nodes_grow_pd_child(self, sirius):
+        bad = gallery.SIRIUS_SAMPLE.replace("|10|1000295291", "|10|xx95291")
+        rep, pd = sirius.parse(bad)
+        root = node_new(sirius, rep, pd, None, name="sirius")
+        entry = root.kth_child_named("es").kth_child(0)
+        pd_nodes = entry.named("pd")
+        assert pd_nodes, "errors must surface a pd child"
+        kids = {c.name: c.value() for c in pd_nodes[0].children}
+        assert kids["nerr"] >= 1
+
+    def test_clean_nodes_have_no_pd_child(self, sirius_root):
+        entry = sirius_root.kth_child_named("es").kth_child(0)
+        assert not entry.named("pd")

@@ -1,0 +1,122 @@
+"""Tests for accumulator profile drift detection (paper §5.2, Altair)."""
+
+import random
+
+import pytest
+
+from repro import compile_description, gallery
+from repro.tools.accum import Accumulator
+from repro.tools.datagen import clf_workload, sirius_workload
+from repro.tools.drift import compare, profile_and_compare
+
+DESC = """
+    Penum status_t { OK, RETRY, FAIL };
+    Precord Pstruct row_t {
+        status_t status; '|';
+        Puint16 latency; '|';
+        Pstring(:'|':) host; '|';
+        Popt Puint32 size;
+    };
+"""
+
+
+def make_file(rng, n, *, fail_rate=0.05, latency_hi=200, bad_rate=0.0,
+              none_size=0.2, hosts=("a", "b", "c")):
+    lines = []
+    for _ in range(n):
+        status = "FAIL" if rng.random() < fail_rate else \
+            rng.choice(["OK", "OK", "OK", "RETRY"])
+        latency = rng.randint(1, latency_hi)
+        host = rng.choice(hosts)
+        size = "" if rng.random() < none_size else str(rng.randint(1, 9999))
+        line = f"{status}|{latency}|{host}|{size}"
+        if rng.random() < bad_rate:
+            line = f"{status}|XX|{host}|{size}"  # corrupt the latency
+        lines.append(line)
+    return ("\n".join(lines) + "\n").encode()
+
+
+@pytest.fixture(scope="module")
+def d():
+    return compile_description(DESC)
+
+
+class TestNoDrift:
+    def test_same_distribution_is_quiet(self, d):
+        old = make_file(random.Random(1), 800)
+        new = make_file(random.Random(2), 800)
+        report = profile_and_compare(d, "row_t", old, new)
+        assert not report.drifted, report.render()
+        assert report.render() == "no drift detected"
+
+
+class TestDriftKinds:
+    def test_bad_rate_drift(self, d):
+        old = make_file(random.Random(1), 800, bad_rate=0.0)
+        new = make_file(random.Random(2), 800, bad_rate=0.15)
+        report = profile_and_compare(d, "row_t", old, new)
+        kinds = {f.kind for f in report.findings}
+        assert "bad-rate" in kinds
+        assert any("latency" in f.path for f in report.findings)
+
+    def test_distribution_drift_on_enum(self, d):
+        old = make_file(random.Random(1), 800, fail_rate=0.02)
+        new = make_file(random.Random(2), 800, fail_rate=0.80)
+        report = profile_and_compare(d, "row_t", old, new)
+        assert any(f.kind == "distribution" and f.path == "status"
+                   for f in report.findings)
+
+    def test_novel_values(self, d):
+        old = make_file(random.Random(1), 600, hosts=("a", "b"))
+        new = make_file(random.Random(2), 600, hosts=("a", "b", "zz-new"))
+        report = profile_and_compare(d, "row_t", old, new)
+        novel = [f for f in report.findings if f.kind == "novel-values"]
+        assert any("zz-new" in f.detail for f in novel)
+
+    def test_range_drift(self, d):
+        old = make_file(random.Random(1), 800, latency_hi=100)
+        new = make_file(random.Random(2), 800, latency_hi=5000)
+        report = profile_and_compare(d, "row_t", old, new)
+        assert any(f.kind == "range" and "latency" in f.path
+                   for f in report.findings)
+
+    def test_missing_representation_shift(self, d):
+        """A feed that suddenly omits its optional field drifts on the
+        Popt tag distribution — the two-missing-representations story."""
+        old = make_file(random.Random(1), 800, none_size=0.05)
+        new = make_file(random.Random(2), 800, none_size=0.90)
+        report = profile_and_compare(d, "row_t", old, new)
+        assert any(f.path == "size" and f.kind == "distribution"
+                   for f in report.findings)
+
+    def test_findings_ranked_by_severity(self, d):
+        old = make_file(random.Random(1), 800)
+        new = make_file(random.Random(2), 800, bad_rate=0.3, fail_rate=0.9)
+        report = profile_and_compare(d, "row_t", old, new)
+        rendered = report.render().splitlines()
+        assert len(rendered) >= 2
+
+
+class TestSmallSamples:
+    def test_tiny_files_do_not_alarm(self, d):
+        old = make_file(random.Random(1), 5)
+        new = make_file(random.Random(2), 5, fail_rate=1.0)
+        report = profile_and_compare(d, "row_t", old, new)
+        assert not report.drifted  # below min_count
+
+
+class TestOnPaperWorkloads:
+    def test_clf_dash_rate_shift_detected(self, clf):
+        old = clf_workload(1500, random.Random(1), dash_rate=0.01)
+        new = clf_workload(1500, random.Random(2), dash_rate=0.30)
+        report = profile_and_compare(clf, "entry_t", old, new)
+        assert any(f.kind == "bad-rate" and f.path.endswith("length")
+                   for f in report.findings)
+
+    def test_stable_sirius_profiles_quiet(self, sirius):
+        old = sirius_workload(800, random.Random(3)).split(b"\n", 1)[1]
+        new = sirius_workload(800, random.Random(4)).split(b"\n", 1)[1]
+        report = profile_and_compare(sirius, "entry_t", old, new,
+                                     bad_rate_delta=0.05)
+        bad_rate = [f for f in report.findings if f.kind == "bad-rate"]
+        assert not bad_rate  # both files carry the same calibrated error mix

@@ -1,0 +1,54 @@
+"""Smoke tests: every shipped example runs to completion and prints the
+landmarks it promises."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "TYPEDEF_CONSTRAINT_VIOLATION" in out
+    assert "WHERE_CLAUSE_VIOLATION" in out
+    assert "verify after bad edit: False" in out
+    assert "round-trip bytes" in out
+
+
+def test_weblog_analysis():
+    out = run_example("weblog_analysis.py")
+    assert "<top>.length : uint32" in out
+    assert "pcnt-bad:" in out
+    # Figure 8's first formatted record must appear verbatim.
+    assert "207.136.97.49|-|-|10/16/97:01:46:51|GET|/tk/p.txt|1|0|200|30" in out
+
+
+def test_sirius_provisioning():
+    out = run_example("sirius_provisioning.py")
+    assert "54 errors" in out
+    assert "normalised" in out
+    assert "orders starting within the window" in out
+
+
+def test_cobol_billing():
+    out = run_example("cobol_billing.py")
+    assert "Precord Pstruct billing_record_t" in out
+    assert "file error rate" in out
+    assert "ALERT" in out  # 3% injection > 2% threshold
+
+
+def test_netflow_stream():
+    out = run_example("netflow_stream.py")
+    assert "corrupted" in out
+    assert "top talkers" in out

@@ -1,0 +1,223 @@
+"""Tests for the Source byte cursor and record disciplines."""
+
+import io
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.io import (
+    FixedWidthRecords,
+    LengthPrefixedRecords,
+    NewlineRecords,
+    NoRecords,
+    Source,
+)
+
+
+class TestCursorBasics:
+    def test_peek_take(self):
+        src = Source.from_bytes(b"hello")
+        assert src.peek(3) == b"hel"
+        assert src.take(2) == b"he"
+        assert src.take(10) == b"llo"
+        assert src.at_eof()
+
+    def test_match_bytes(self):
+        src = Source.from_bytes(b"HTTP/1.0")
+        assert src.match_bytes(b"HTTP/")
+        assert not src.match_bytes(b"2")
+        assert src.peek(1) == b"1"
+
+    def test_take_until(self):
+        src = Source.from_bytes(b"abc|def")
+        assert src.take_until(b"|") == b"abc"
+        assert src.peek(1) == b"|"
+
+    def test_take_until_missing_does_not_move(self):
+        src = Source.from_bytes(b"abcdef")
+        assert src.take_until(b"|") is None
+        assert src.pos == 0
+
+    def test_take_span(self):
+        src = Source.from_bytes(b"12345abc")
+        digits = frozenset(b"0123456789")
+        assert src.take_span(digits) == b"12345"
+        assert src.take_span(digits) == b""
+        assert src.peek(1) == b"a"
+
+    def test_take_rest(self):
+        src = Source.from_bytes(b"xyz")
+        src.take(1)
+        assert src.take_rest() == b"yz"
+        assert src.at_eof()
+
+
+class TestCheckpoints:
+    def test_mark_restore(self):
+        src = Source.from_bytes(b"abcdef")
+        src.take(2)
+        state = src.mark()
+        src.take(3)
+        src.restore(state)
+        assert src.peek(1) == b"c"
+
+    def test_commit(self):
+        src = Source.from_bytes(b"abcdef")
+        state = src.mark()
+        src.take(3)
+        src.commit(state)
+        assert src.peek(1) == b"d"
+
+
+class TestNewlineRecords:
+    def test_record_scoping(self):
+        src = Source.from_bytes(b"one\ntwo\n", NewlineRecords())
+        assert src.begin_record()
+        assert src.take_rest() == b"one"
+        assert src.at_eor()
+        src.end_record()
+        assert src.begin_record()
+        assert src.record_bytes() == b"two"
+        src.end_record()
+        assert not src.begin_record()
+
+    def test_reads_clamped_to_record(self):
+        src = Source.from_bytes(b"ab\ncd\n", NewlineRecords())
+        src.begin_record()
+        assert src.take(10) == b"ab"
+
+    def test_crlf(self):
+        src = Source.from_bytes(b"ab\r\ncd\r\n", NewlineRecords())
+        src.begin_record()
+        assert src.record_bytes() == b"ab"
+        src.end_record()
+        src.begin_record()
+        assert src.record_bytes() == b"cd"
+
+    def test_final_record_without_newline(self):
+        src = Source.from_bytes(b"ab\ncd", NewlineRecords())
+        src.begin_record()
+        src.end_record()
+        assert src.begin_record()
+        assert src.record_bytes() == b"cd"
+        src.end_record()
+        assert not src.begin_record()
+
+    def test_skip_to_eor(self):
+        src = Source.from_bytes(b"abcdef\nxy\n", NewlineRecords())
+        src.begin_record()
+        src.take(2)
+        assert src.skip_to_eor() == 4
+        assert src.at_eor()
+
+    def test_record_indices(self):
+        src = Source.from_bytes(b"a\nb\nc\n", NewlineRecords())
+        seen = []
+        while src.begin_record():
+            seen.append(src.record_idx)
+            src.end_record()
+        assert seen == [0, 1, 2]
+
+
+class TestFixedWidthRecords:
+    def test_fixed_records(self):
+        src = Source.from_bytes(b"AAABBBCCC", FixedWidthRecords(3))
+        out = []
+        while src.begin_record():
+            out.append(src.record_bytes())
+            src.end_record()
+        assert out == [b"AAA", b"BBB", b"CCC"]
+
+    def test_short_final_record_surfaced(self):
+        src = Source.from_bytes(b"AAAB", FixedWidthRecords(3))
+        src.begin_record()
+        src.end_record()
+        assert src.begin_record()
+        assert src.record_bytes() == b"B"
+
+    def test_width_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FixedWidthRecords(0)
+
+
+class TestLengthPrefixedRecords:
+    def test_roundtrip(self):
+        disc = LengthPrefixedRecords(prefix=2, byteorder="big")
+        payloads = [b"hello", b"", b"worlds"]
+        data = b"".join(disc.header(p) + p for p in payloads)
+        src = Source.from_bytes(data, disc)
+        out = []
+        while src.begin_record():
+            out.append(src.record_bytes())
+            src.end_record()
+        assert out == payloads
+
+    def test_inclusive_length(self):
+        disc = LengthPrefixedRecords(prefix=4, byteorder="big", inclusive=True)
+        payload = b"abc"
+        data = disc.header(payload) + payload
+        assert data[:4] == (7).to_bytes(4, "big")
+        src = Source.from_bytes(data, disc)
+        src.begin_record()
+        assert src.record_bytes() == payload
+
+    def test_bad_prefix_size(self):
+        with pytest.raises(ValueError):
+            LengthPrefixedRecords(prefix=3)
+
+
+class TestNoRecords:
+    def test_whole_source_is_one_record(self):
+        src = Source.from_bytes(b"all of it", NoRecords())
+        assert src.begin_record()
+        assert src.record_bytes() == b"all of it"
+        src.end_record()
+        assert not src.begin_record()
+
+
+class TestStreaming:
+    """The Source must behave identically over a stream as over bytes."""
+
+    def test_stream_matches_bytes(self):
+        data = b"".join(f"record {i} with some padding\n".encode() for i in range(5000))
+        from_bytes = []
+        src = Source.from_bytes(data, NewlineRecords())
+        while src.begin_record():
+            from_bytes.append(src.record_bytes())
+            src.end_record()
+        from_stream = []
+        src = Source(stream=io.BytesIO(data), discipline=NewlineRecords())
+        while src.begin_record():
+            from_stream.append(src.record_bytes())
+            src.end_record()
+        assert from_bytes == from_stream
+
+    def test_buffer_is_trimmed(self):
+        data = b"x" * 100 + b"\n"
+        src = Source(stream=io.BytesIO(data * 10000), discipline=NewlineRecords())
+        max_buf = 0
+        while src.begin_record():
+            src.end_record()
+            max_buf = max(max_buf, len(src._buf))
+        # Buffer must stay bounded (far below the ~1MB total).
+        assert max_buf < 300_000
+
+    def test_scan_across_chunk_boundary(self):
+        # Terminator placed straddling the 64KiB chunk boundary.
+        data = b"a" * (1 << 16) + b"|tail\n"
+        src = Source(stream=io.BytesIO(data), discipline=NewlineRecords())
+        src.begin_record()
+        body = src.take_until(b"|")
+        assert len(body) == 1 << 16
+
+
+@given(st.lists(st.binary(max_size=40).filter(lambda b: b"\n" not in b and b"\r" not in b),
+                max_size=20))
+def test_newline_records_roundtrip(payloads):
+    data = b"".join(p + b"\n" for p in payloads)
+    src = Source.from_bytes(data, NewlineRecords())
+    out = []
+    while src.begin_record():
+        out.append(src.record_bytes())
+        src.end_record()
+    assert out == payloads

@@ -1,0 +1,116 @@
+"""Unit tests for the PADS description lexer."""
+
+import pytest
+
+from repro.dsl.lexer import Lexer, LexError
+
+
+def toks(text):
+    return [(t.kind, t.value) for t in Lexer(text).tokens() if t.kind != "eof"]
+
+
+class TestBasics:
+    def test_idents_and_keywords(self):
+        assert toks("Pstruct foo_t") == [("keyword", "Pstruct"), ("ident", "foo_t")]
+
+    def test_base_type_names_are_idents(self):
+        assert toks("Puint32")[0] == ("ident", "Puint32")
+
+    def test_integers(self):
+        assert toks("0 42 007") == [("int", "0"), ("int", "42"), ("int", "007")]
+
+    def test_hex_integers(self):
+        assert toks("0xFF 0x10") == [("int", "0xFF"), ("int", "0x10")]
+
+    def test_floats(self):
+        assert toks("3.14 1.0e5 2.5E-3") == [
+            ("float", "3.14"), ("float", "1.0e5"), ("float", "2.5E-3")]
+
+    def test_int_followed_by_range_is_not_float(self):
+        assert toks("0..9") == [("int", "0"), ("op", ".."), ("int", "9")]
+
+
+class TestLiterals:
+    def test_char_literal(self):
+        assert toks("'|'") == [("char", "|")]
+
+    def test_char_escapes(self):
+        assert toks(r"'\n' '\t' '\\' '\''") == [
+            ("char", "\n"), ("char", "\t"), ("char", "\\"), ("char", "'")]
+
+    def test_hex_escape(self):
+        assert toks(r"'\x41'") == [("char", "A")]
+
+    def test_string_literal(self):
+        assert toks('"HTTP/"') == [("string", "HTTP/")]
+
+    def test_string_with_escaped_quote(self):
+        assert toks(r'"a\"b"') == [("string", 'a"b')]
+
+    def test_empty_char_rejected(self):
+        with pytest.raises(LexError):
+            toks("''")
+
+    def test_unterminated_string_rejected(self):
+        with pytest.raises(LexError):
+            toks('"oops')
+
+    def test_unknown_escape_rejected(self):
+        with pytest.raises(LexError):
+            toks(r"'\q'")
+
+
+class TestOperators:
+    def test_param_brackets(self):
+        assert toks("(:3:)") == [("op", "(:"), ("int", "3"), ("op", ":)")]
+
+    def test_param_brackets_with_char(self):
+        assert toks("(:' ':)") == [("op", "(:"), ("char", " "), ("op", ":)")]
+
+    def test_arrow(self):
+        assert toks("=>") == [("op", "=>")]
+
+    def test_comparisons(self):
+        assert [v for _, v in toks("<= >= == != < >")] == [
+            "<=", ">=", "==", "!=", "<", ">"]
+
+    def test_logical(self):
+        assert [v for _, v in toks("&& || ! & |")] == ["&&", "||", "!", "&", "|"]
+
+    def test_plain_colon_in_ternary_context(self):
+        # ':' not immediately followed by ')' stays a plain colon.
+        assert toks("a ? b : c") == [
+            ("ident", "a"), ("op", "?"), ("ident", "b"),
+            ("op", ":"), ("ident", "c")]
+
+
+class TestComments:
+    def test_pads_line_comment(self):
+        assert toks("Pip ip; /- an address\nfoo") == [
+            ("ident", "Pip"), ("ident", "ip"), ("op", ";"), ("ident", "foo")]
+
+    def test_cxx_line_comment(self):
+        assert toks("a // comment\nb") == [("ident", "a"), ("ident", "b")]
+
+    def test_block_comment(self):
+        assert toks("a /* x\ny */ b") == [("ident", "a"), ("ident", "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            toks("/* never ends")
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = Lexer("ab\n  cd").tokens()
+        assert (tokens[0].line, tokens[0].col) == (1, 1)
+        assert (tokens[1].line, tokens[1].col) == (2, 3)
+
+    def test_error_position(self):
+        try:
+            Lexer("abc\n  $").tokens()
+        except LexError as exc:
+            assert exc.line == 2
+            assert exc.col == 3
+        else:
+            pytest.fail("expected LexError")

@@ -1,0 +1,212 @@
+"""Integration tests: the paper's own descriptions over the paper's own data.
+
+These tests pin the reproduction to the artifacts printed in the paper:
+Figures 2/3 (sample data), Figures 4/5 (descriptions), and the semantic
+claims the prose makes about them (the '-' length discovery, the timestamp
+sort constraint, the two missing-phone-number representations).
+"""
+
+import pytest
+
+from repro import ErrCode, Mask, P_CheckAndSet, P_Set, UnionVal, gallery
+from repro.core.masks import MaskFlag
+
+
+class TestCLF:
+    def test_sample_parses_cleanly(self, clf):
+        rep, pd = clf.parse(gallery.CLF_SAMPLE)
+        assert pd.nerr == 0
+        assert len(rep) == 2
+
+    def test_first_record_fields(self, clf):
+        rep, _ = clf.parse(gallery.CLF_SAMPLE)
+        e = rep[0]
+        assert e.client.tag == "ip"
+        assert e.client.value == "207.136.97.49"
+        assert e.remoteID.tag == "unauthorized"
+        assert e.auth.tag == "unauthorized"
+        assert e.request.meth == "GET"
+        assert e.request.req_uri == "/tk/p.txt"
+        assert e.request.version.major == 1
+        assert e.request.version.minor == 0
+        assert e.response == 200
+        assert e.length == 30
+
+    def test_second_record_is_hostname(self, clf):
+        rep, _ = clf.parse(gallery.CLF_SAMPLE)
+        e = rep[1]
+        assert e.client.tag == "host"
+        assert e.client.value == "tj62.aol.com"
+        assert e.request.meth == "POST"
+        assert e.length == 941
+
+    def test_roundtrip(self, clf):
+        rep, _ = clf.parse(gallery.CLF_SAMPLE)
+        assert clf.write(rep) == gallery.CLF_SAMPLE.encode()
+
+    def test_dash_in_length_is_the_paper_error(self, clf):
+        """Section 5.2: 'web servers occasionally store the '-' character
+        rather than the actual number of bytes returned'."""
+        bad = gallery.CLF_SAMPLE.replace(" 200 30", " 200 -")
+        rep, pd = clf.parse(bad)
+        assert pd.nerr == 1
+        entry_pd = pd.elts[0]
+        assert entry_pd.fields["length"].err_code == ErrCode.INVALID_INT
+
+    def test_obsolete_method_constraint(self, clf):
+        """chkVersion: LINK/UNLINK only under HTTP/1.1."""
+        bad = gallery.CLF_SAMPLE.replace('"GET /tk/p.txt HTTP/1.0"',
+                                         '"LINK /tk/p.txt HTTP/1.0"')
+        rep, pd = clf.parse(bad)
+        assert pd.nerr == 1
+        ok = gallery.CLF_SAMPLE.replace('"GET /tk/p.txt HTTP/1.0"',
+                                        '"LINK /tk/p.txt HTTP/1.1"')
+        rep, pd = clf.parse(ok)
+        assert pd.nerr == 0
+
+    def test_response_code_constraint(self, clf):
+        bad = gallery.CLF_SAMPLE.replace(" 200 30", " 999 30")
+        _, pd = clf.parse(bad)
+        assert pd.nerr == 1
+
+    def test_records_entry_point(self, clf):
+        out = list(clf.records(gallery.CLF_SAMPLE, "entry_t"))
+        assert len(out) == 2
+        assert all(pd.nerr == 0 for _, pd in out)
+
+
+class TestSirius:
+    def test_sample_parses_cleanly(self, sirius):
+        rep, pd = sirius.parse(gallery.SIRIUS_SAMPLE)
+        assert pd.nerr == 0
+        assert rep.h.tstamp == 1005022800
+        assert len(rep.es) == 2
+
+    def test_order_header_fields(self, sirius):
+        rep, _ = sirius.parse(gallery.SIRIUS_SAMPLE)
+        h = rep.es[0].header
+        assert h.order_num == 9152
+        assert h.att_order_num == 9152
+        assert h.ord_version == 1
+        assert h.service_tn == 9735551212
+        assert h.billing_tn == 0
+        assert h.nlp_service_tn is None  # empty field -> Popt NONE
+        assert h.nlp_billing_tn == 9085551212
+        assert h.zip_code == "07988"
+        assert h.order_type == "EDTF_6"
+        assert h.stream == "DUO"
+
+    def test_noii_billing_identifier(self, sirius):
+        """The generated-identifier branch: 'no_ii' prefix (Section 2.2)."""
+        rep, _ = sirius.parse(gallery.SIRIUS_SAMPLE)
+        ramp0 = rep.es[0].header.ramp
+        assert ramp0.tag == "genRamp"
+        assert ramp0.value.id == 152272
+        ramp1 = rep.es[1].header.ramp
+        assert ramp1.tag == "ramp"
+        assert ramp1.value == 152268
+
+    def test_event_sequences(self, sirius):
+        rep, _ = sirius.parse(gallery.SIRIUS_SAMPLE)
+        ev0 = rep.es[0].events
+        assert [(e.state, e.tstamp) for e in ev0] == [("10", 1000295291)]
+        ev1 = rep.es[1].events
+        assert [(e.state, e.tstamp) for e in ev1] == [
+            ("LOC_CRTE", 1001476800), ("LOC_OS_10", 1001649601)]
+
+    def test_roundtrip(self, sirius):
+        rep, _ = sirius.parse(gallery.SIRIUS_SAMPLE)
+        assert sirius.write(rep) == gallery.SIRIUS_SAMPLE.encode()
+
+    def test_unsorted_timestamps_flagged(self, sirius):
+        """The Pwhere sortedness constraint from Figure 5."""
+        bad = gallery.SIRIUS_SAMPLE.replace("LOC_CRTE|1001476800|LOC_OS_10|1001649601",
+                                            "LOC_CRTE|1001649601|LOC_OS_10|1001476800")
+        _, pd = sirius.parse(bad)
+        assert pd.nerr == 1
+
+    def test_sort_check_can_be_masked_off(self, sirius):
+        """Figure 7 sets mask.events.compoundLevel = P_Set to skip the sort
+        check while still materialising events."""
+        bad = gallery.SIRIUS_SAMPLE.replace("LOC_CRTE|1001476800|LOC_OS_10|1001649601",
+                                            "LOC_CRTE|1001649601|LOC_OS_10|1001476800")
+        entry_mask = Mask(P_CheckAndSet)
+        events_mask = Mask(P_CheckAndSet)
+        events_mask.compound_level = P_Set
+        entry_mask.fields["events"] = events_mask
+        body = bad.split("\n", 1)[1]  # skip the summary header record
+        out = list(sirius.records(body, "entry_t", mask=entry_mask))
+        assert [pd.nerr for _, pd in out] == [0, 0]
+        assert len(out[1][0].events) == 2
+        # The same data with the default mask does report the violation.
+        out = list(sirius.records(body, "entry_t"))
+        assert sum(pd.nerr for _, pd in out) == 1
+
+    def test_two_missing_phone_number_representations(self, sirius):
+        """Section 5.1.1: missing numbers appear as omitted fields (Popt
+        NONE) or as the value 0."""
+        rep, _ = sirius.parse(gallery.SIRIUS_SAMPLE)
+        h = rep.es[0].header
+        assert h.nlp_service_tn is None   # representation 1: omitted
+        assert h.billing_tn == 0          # representation 2: zero
+
+    def test_verify_after_normalisation(self, sirius):
+        """The cnvPhoneNumbers flow from Figure 7: converting zeroes to
+        NONE must leave a verifiable value."""
+        rep, pd = sirius.parse(gallery.SIRIUS_SAMPLE)
+        for entry in rep.es:
+            h = entry.header
+            for field in ("service_tn", "billing_tn",
+                          "nlp_service_tn", "nlp_billing_tn"):
+                if getattr(h, field) == 0:
+                    setattr(h, field, None)
+        assert sirius.verify(rep)
+        assert rep.es[0].header.billing_tn is None
+
+    def test_syntax_error_in_one_record_is_contained(self, sirius):
+        lines = gallery.SIRIUS_SAMPLE.strip().split("\n")
+        lines[1] = "garbage record with no pipes at all"
+        data = "\n".join(lines) + "\n"
+        rep, pd = sirius.parse(data)
+        assert pd.nerr > 0
+        # The following record still parses.
+        assert rep.es[-1].header.order_num == 9153
+
+
+class TestBinaryGallery:
+    def test_call_detail_roundtrip(self, call_detail, rng):
+        reps = [call_detail.generate("call_t", rng) for _ in range(20)]
+        data = call_detail.write(reps, "calls_t")
+        assert len(data) == 20 * gallery.CALL_DETAIL_WIDTH
+        back, pd = call_detail.parse(data, "calls_t")
+        assert pd.nerr == 0
+        assert back == reps
+
+    def test_call_type_constraint(self, call_detail, rng):
+        rep = call_detail.generate("call_t", rng)
+        rep.call_type = 250
+        data = call_detail.write([rep], "calls_t")
+        _, pd = call_detail.parse(data, "calls_t")
+        assert pd.nerr == 1
+
+    def test_netflow_count_drives_array(self, netflow, rng):
+        pkt = netflow.generate("nf_packet_t", rng)
+        assert pkt.hdr.count == len(pkt.flows)
+        data = netflow.write(pkt, "nf_packet_t")
+        back, pd = netflow.parse(data, "nf_packet_t")
+        assert pd.nerr == 0
+        assert len(back.flows) == pkt.hdr.count
+
+    def test_netflow_stream(self, netflow, rng):
+        pkts = [netflow.generate("nf_packet_t", rng) for _ in range(5)]
+        data = b"".join(netflow.write(p, "nf_packet_t") for p in pkts)
+        back, pd = netflow.parse(data)
+        assert pd.nerr == 0
+        assert len(back) == 5
+
+    def test_netflow_version_constraint(self, netflow, rng):
+        pkt = netflow.generate("nf_packet_t", rng)
+        data = bytearray(netflow.write(pkt, "nf_packet_t"))
+        data[0:2] = (9).to_bytes(2, "big")  # corrupt the version field
+        _, pd = netflow.parse(bytes(data), "nf_packet_t")
+        assert pd.nerr >= 1

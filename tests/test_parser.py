@@ -1,0 +1,259 @@
+"""Unit tests for the PADS description parser."""
+
+import pytest
+
+from repro.dsl import ast as D
+from repro.dsl.parser import ParseError, parse_description
+from repro.expr import ast as E
+
+
+def parse_one(text):
+    desc = parse_description(text)
+    decls = [d for d in desc.decls]
+    assert len(decls) == 1
+    return decls[0]
+
+
+class TestStruct:
+    def test_simple_struct(self):
+        d = parse_one("Pstruct p { Puint32 a; '|'; Puint32 b; };")
+        assert isinstance(d, D.StructDecl)
+        kinds = [type(i).__name__ for i in d.items]
+        assert kinds == ["DataField", "LiteralField", "DataField"]
+        assert d.data_fields()[0].name == "a"
+
+    def test_string_literal_member(self):
+        d = parse_one('Pstruct p { "HTTP/"; Puint8 major; };')
+        lit = d.items[0]
+        assert isinstance(lit, D.LiteralField)
+        assert lit.literal.kind == "string"
+        assert lit.literal.value == "HTTP/"
+
+    def test_field_constraint(self):
+        d = parse_one("Pstruct p { Puint8 x : x > 3; };")
+        field = d.items[0]
+        assert isinstance(field.constraint, E.Binary)
+        assert field.constraint.op == ">"
+
+    def test_parameterised_field_type(self):
+        d = parse_one("Pstruct p { Pstring(:' ':) s; };")
+        tref = d.items[0].type
+        assert isinstance(tref, D.TypeRef)
+        assert tref.name == "Pstring"
+        assert isinstance(tref.args[0], E.CharLit)
+        assert tref.args[0].value == " "
+
+    def test_popt_field(self):
+        d = parse_one("Pstruct p { Popt Puint32 x; };")
+        assert isinstance(d.items[0].type, D.OptType)
+
+    def test_annotations(self):
+        d = parse_one("Precord Pstruct p { Puint8 x; };")
+        assert d.is_record and not d.is_source
+        d = parse_one("Psource Pstruct p { Puint8 x; };")
+        assert d.is_source and not d.is_record
+
+    def test_struct_params(self):
+        d = parse_one("Pstruct p(:int n, int m:) { Pstring_FW(:n:) s; };")
+        assert d.params == [("int", "n"), ("int", "m")]
+
+    def test_compute_field(self):
+        d = parse_one("Pstruct p { Puint8 a; Pcompute int twice = a * 2; };")
+        comp = d.items[1]
+        assert isinstance(comp, D.ComputeField)
+        assert comp.name == "twice"
+
+    def test_struct_where(self):
+        d = parse_one("Pstruct p { Puint8 a; Puint8 b; } Pwhere { a <= b };")
+        assert isinstance(d.where, E.Binary)
+
+    def test_regex_literal_member(self):
+        d = parse_one('Pstruct p { Pre "/[0-9]+/"; Puint8 x; };')
+        assert d.items[0].literal.kind == "regex"
+        assert d.items[0].literal.value == "[0-9]+"
+
+    def test_regex_field_type(self):
+        d = parse_one('Pstruct p { Pre "/a+/" s; };')
+        assert isinstance(d.items[0].type, D.RegexType)
+        assert d.items[0].type.pattern == "a+"
+
+
+class TestUnion:
+    def test_plain_union(self):
+        d = parse_one("Punion u { Pip ip; Phostname host; };")
+        assert isinstance(d, D.UnionDecl)
+        assert [b.name for b in d.branches] == ["ip", "host"]
+        assert not d.is_switched
+
+    def test_branch_constraint(self):
+        d = parse_one("Punion u { Pchar dash : dash == '-'; Pstring(:' ':) id; };")
+        assert d.branches[0].constraint is not None
+
+    def test_switched_union(self):
+        d = parse_one("""
+          Punion u(:int tag:) {
+            Pswitch (tag) {
+              Pcase 0: Puint32 num;
+              Pcase 1: Pstring(:'|':) text;
+              Pdefault: Pchar other;
+            }
+          };
+        """)
+        assert d.is_switched
+        assert len(d.cases) == 3
+        assert d.cases[0].value is not None
+        assert d.cases[2].value is None
+        assert d.cases[1].field.name == "text"
+
+
+class TestArray:
+    def test_array_with_sep_and_term(self):
+        d = parse_one("Parray a { Puint32[] : Psep(',') && Pterm(Peor); };")
+        assert isinstance(d, D.ArrayDecl)
+        assert d.sep.kind == "char" and d.sep.value == ","
+        assert d.term.kind == "eor"
+
+    def test_fixed_size(self):
+        d = parse_one("Parray a { Puint8[4]; };")
+        assert isinstance(d.min_size, E.IntLit) and d.min_size.value == 4
+        assert d.max_size.value == 4
+
+    def test_size_range(self):
+        d = parse_one("Parray a { Puint8[2..5]; };")
+        assert d.min_size.value == 2 and d.max_size.value == 5
+
+    def test_size_from_param(self):
+        d = parse_one("Parray a(:int n:) { Puint8[n]; };")
+        assert isinstance(d.min_size, E.Name)
+
+    def test_where_clause(self):
+        d = parse_one("""
+          Parray a {
+            Puint32[] : Psep('|') && Pterm(Peor);
+          } Pwhere {
+            Pforall (i Pin [0..length-2] : elts[i] <= elts[i+1]);
+          };
+        """)
+        assert isinstance(d.where, E.Forall)
+
+    def test_plast_pended_plongest(self):
+        d = parse_one("Parray a { Puint8[] : Plongest && Plast(elts[length-1] == 0); };")
+        assert d.longest
+        assert d.last is not None
+        d = parse_one("Parray a { Puint8[] : Pended(length >= 3); };")
+        assert d.ended is not None
+
+    def test_psep_requires_literal(self):
+        with pytest.raises(ParseError):
+            parse_one("Parray a { Puint8[] : Psep(Peor); };")
+
+
+class TestEnumTypedefFunc:
+    def test_enum(self):
+        d = parse_one("Penum m { GET, PUT, POST };")
+        assert [i.name for i in d.items] == ["GET", "PUT", "POST"]
+
+    def test_enum_with_values_and_spelling(self):
+        d = parse_one('Penum m { A = 10, B Pfrom("bee"), C };')
+        assert d.items[0].value == 10
+        assert d.items[1].physical == "bee"
+        assert d.items[2].value is None
+
+    def test_typedef_plain(self):
+        d = parse_one("Ptypedef Puint32 id_t;")
+        assert isinstance(d, D.TypedefDecl)
+        assert d.constraint is None
+
+    def test_typedef_with_constraint(self):
+        d = parse_one(
+            "Ptypedef Puint16_FW(:3:) response_t : "
+            "response_t x => { 100 <= x && x < 600 };")
+        assert d.var == "x"
+        assert isinstance(d.constraint, E.Binary)
+
+    def test_function(self):
+        desc = parse_description("""
+          bool chk(int a, int b) {
+            if (a == b) return true;
+            return false;
+          };
+        """)
+        fns = desc.functions()
+        assert "chk" in fns
+        assert fns["chk"].params == [("int", "a"), ("int", "b")]
+
+    def test_function_with_locals_and_loops(self):
+        desc = parse_description("""
+          int sumTo(int n) {
+            int acc = 0;
+            for (int i = 0; i < n; i += 1) acc += i;
+            while (acc > 100) acc -= 100;
+            return acc;
+          };
+        """)
+        assert "sumTo" in desc.functions()
+
+
+class TestExpressions:
+    def parse_expr(self, text):
+        d = parse_one(f"Pstruct p {{ Puint8 x : {text}; }};")
+        return d.items[0].constraint
+
+    def test_precedence(self):
+        e = self.parse_expr("1 + 2 * 3 == 7")
+        assert e.op == "=="
+        assert e.left.op == "+"
+        assert e.left.right.op == "*"
+
+    def test_short_circuit_grouping(self):
+        e = self.parse_expr("x > 1 && x < 5 || x == 0")
+        assert e.op == "||"
+
+    def test_ternary(self):
+        e = self.parse_expr("x > 1 ? 1 : 0")
+        assert isinstance(e, E.Ternary)
+
+    def test_member_and_index(self):
+        e = self.parse_expr("a.b[2].c == x")
+        member = e.left
+        assert isinstance(member, E.Member) and member.name == "c"
+        assert isinstance(member.obj, E.Index)
+
+    def test_call(self):
+        e = self.parse_expr("chk(x, 3)")
+        assert isinstance(e, E.Call)
+        assert e.func == "chk" and len(e.args) == 2
+
+    def test_unary(self):
+        e = self.parse_expr("!(x == 1)")
+        assert isinstance(e, E.Unary) and e.op == "!"
+
+    def test_forall(self):
+        e = self.parse_expr("Pforall (i Pin [0..3] : i >= 0)")
+        assert isinstance(e, E.Forall)
+        assert e.var == "i"
+
+    def test_pexists(self):
+        e = self.parse_expr("Pexists (i Pin [0..3] : i == x)")
+        assert isinstance(e, E.Exists)
+
+
+class TestDescriptionLevel:
+    def test_source_defaults_to_last(self):
+        desc = parse_description(
+            "Pstruct a { Puint8 x; }; Pstruct b { Puint8 y; };")
+        assert desc.source.name == "b"
+
+    def test_explicit_source_wins(self):
+        desc = parse_description(
+            "Psource Pstruct a { Puint8 x; }; Pstruct b { Puint8 y; };")
+        assert desc.source.name == "a"
+
+    def test_errors_carry_location(self):
+        with pytest.raises(ParseError) as err:
+            parse_description("Pstruct { Puint8 x; };")
+        assert "line" in str(err.value)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_description("Pstruct p { Puint8 x };")

@@ -1,0 +1,116 @@
+"""Tests for the description pretty-printer (AST -> PADS source).
+
+The key property: re-parsing pretty-printed output yields a semantically
+identical description (same parses over the same data).
+"""
+
+import pytest
+
+from repro import compile_description, gallery
+from repro.dsl.parser import parse_description
+from repro.dsl.pprint import pp_description, pp_expr
+
+from .test_codegen import pd_summary
+
+
+def roundtrip(text: str) -> str:
+    return pp_description(parse_description(text))
+
+
+class TestExpressions:
+    def exp(self, text):
+        desc = parse_description(f"Pstruct p {{ Puint8 x : {text}; }};")
+        return desc.decls[0].items[0].constraint
+
+    @pytest.mark.parametrize("text", [
+        "1 + 2 * 3",
+        "(1 + 2) * 3",
+        "100 <= x && x < 600",
+        "a.b[2].c == x",
+        "chk(x, 3)",
+        "!(x == 1)",
+        "x > 1 ? 1 : 0",
+        "Pforall (i Pin [0..length-2] : elts[i] <= elts[i+1])",
+    ])
+    def test_expr_roundtrip_preserves_semantics(self, text):
+        first = self.exp(text)
+        printed = pp_expr(first)
+        second = self.exp(printed)
+        # Printing again must be a fixpoint.
+        assert pp_expr(second) == printed
+
+    def test_precedence_parenthesised_correctly(self):
+        expr = self.exp("(1 + 2) * 3")
+        assert pp_expr(expr) == "(1 + 2) * 3"
+        expr = self.exp("1 + 2 * 3")
+        assert pp_expr(expr) == "1 + 2 * 3"
+
+
+class TestDescriptions:
+    @pytest.mark.parametrize("name,text,ambient", [
+        ("clf", gallery.CLF, "ascii"),
+        ("sirius", gallery.SIRIUS, "ascii"),
+        ("calldetail", gallery.CALL_DETAIL, "binary"),
+        ("netflow", gallery.NETFLOW, "binary"),
+    ])
+    def test_gallery_roundtrip_is_fixpoint(self, name, text, ambient):
+        once = roundtrip(text)
+        twice = roundtrip(once)
+        assert once == twice
+
+    def test_clf_roundtrip_parses_identically(self):
+        printed = pp_description(parse_description(gallery.CLF))
+        original = compile_description(gallery.CLF)
+        reparsed = compile_description(printed)
+        for data in (gallery.CLF_SAMPLE,
+                     gallery.CLF_SAMPLE.replace(" 200 30", " 200 -"),
+                     gallery.CLF_SAMPLE.replace("GET", "LINK")):
+            ri, pi = original.parse(data)
+            rg, pg = reparsed.parse(data)
+            assert pd_summary(pi) == pd_summary(pg)
+            assert ri == rg
+
+    def test_sirius_roundtrip_parses_identically(self):
+        printed = pp_description(parse_description(gallery.SIRIUS))
+        original = compile_description(gallery.SIRIUS)
+        reparsed = compile_description(printed)
+        ri, pi = original.parse(gallery.SIRIUS_SAMPLE)
+        rg, pg = reparsed.parse(gallery.SIRIUS_SAMPLE)
+        assert pd_summary(pi) == pd_summary(pg)
+        assert ri == rg
+
+    def test_escapes_survive(self):
+        text = r"""Pstruct p { '\n'; "a\"b"; Pstring(:'\t':) s; };"""
+        printed = roundtrip(text)
+        d1 = parse_description(text).decls[0]
+        d2 = parse_description(printed).decls[0]
+        assert d1.items[0].literal.value == d2.items[0].literal.value == "\n"
+        assert d1.items[1].literal.value == d2.items[1].literal.value == 'a"b'
+
+    def test_switched_union(self):
+        text = """
+          Punion u(:int t:) {
+            Pswitch (t) {
+              Pcase 0: Puint32 num;
+              Pdefault: Pchar other;
+            }
+          };
+        """
+        printed = roundtrip(text)
+        assert "Pswitch (t)" in printed
+        assert roundtrip(printed) == printed
+
+    def test_functions(self):
+        printed = roundtrip("""
+          int f(int a, int b) {
+            int acc = 0;
+            for (int i = a; i < b; i += 1) acc += i;
+            if (acc > 10) return acc; else return 0;
+          };
+        """)
+        assert roundtrip(printed) == printed
+
+    def test_annotations_preserved(self):
+        printed = roundtrip("Psource Precord Pstruct p { Puint8 x; };")
+        d = parse_description(printed).decls[0]
+        assert d.is_source and d.is_record

@@ -1,0 +1,190 @@
+"""Tests for the XQuery-subset engine (paper Section 5.4).
+
+Includes the three queries the paper says the Sirius analyst needed:
+orders in a time window, orders through a particular state, and the
+average time between two states.
+"""
+
+import pytest
+
+from repro import compile_description, gallery
+from repro.tools.dataapi import node_new
+from repro.tools.query import QueryError, XQuery, query
+
+
+@pytest.fixture(scope="module")
+def root(sirius):
+    rep, pd = sirius.parse(gallery.SIRIUS_SAMPLE)
+    return node_new(sirius, rep, pd, None, name="sirius")
+
+
+class TestPaths:
+    def test_simple_path(self, root):
+        res = query("$sirius/h/tstamp", root)
+        assert [n.value() for n in res] == [1005022800]
+
+    def test_array_steps(self, root):
+        res = query("$sirius/es/entry", root)
+        assert len(res) == 2
+
+    def test_positional_predicate(self, root):
+        res = query("$sirius/es/entry[1]/header/order_num", root)
+        assert [n.value() for n in res] == [9152]
+        res = query("$sirius/es/entry[2]/header/order_num", root)
+        assert [n.value() for n in res] == [9153]
+
+    def test_rooted_path(self, root):
+        res = query("/es/entry/header/order_num", root)
+        assert [n.value() for n in res] == [9152, 9153]
+
+    def test_descendant_axis(self, root):
+        res = query("$sirius//tstamp", root)
+        values = {n.value().epoch if hasattr(n.value(), "epoch") else n.value()
+                  for n in res}
+        assert 1001476800 in values
+
+    def test_wildcard(self, root):
+        res = query("$sirius/es/entry[1]/header/*", root)
+        assert len(res) == 13  # the 13 header fields
+
+    def test_comparison_predicate(self, root):
+        res = query("$sirius/es/entry[header/order_num = 9153]", root)
+        assert len(res) == 1
+
+    def test_nested_predicates(self, root):
+        res = query("$sirius/es/entry[events/event[2]]", root)
+        assert len(res) == 1  # only the second order has two events
+
+
+class TestPaperQueries:
+    def test_time_window_query(self, root):
+        """The paper's query: orders starting within a given window."""
+        res = query(
+            '$sirius/es/entry[events/event[1]'
+            '[tstamp >= xs:date("2001-09-01") and '
+            ' tstamp <= xs:date("2001-10-01")]]', root)
+        assert len(res) == 2  # both sample orders start in Sept 2001
+
+        res = query(
+            '$sirius/es/entry[events/event[1]'
+            '[tstamp >= xs:date("2001-09-20") and '
+            ' tstamp <= xs:date("2001-10-01")]]', root)
+        nums = [n.kth_child_named("header").kth_child_named("order_num").value()
+                for n in res]
+        assert nums == [9153]
+
+    def test_count_orders_through_state(self, root):
+        """'Count the number of orders going through a particular state.'"""
+        res = query('count($sirius/es/entry[events/event/state = "LOC_CRTE"])',
+                    root)
+        assert res == [1]
+
+    def test_average_time_between_states(self, root):
+        """'Average time required to go from a particular state to
+        another.'"""
+        res = query(
+            'avg(for $o in $sirius/es/entry'
+            '    let $a := $o/events/event[state = "LOC_CRTE"]/tstamp,'
+            '        $b := $o/events/event[state = "LOC_OS_10"]/tstamp'
+            '    where exists($a) and exists($b)'
+            '    return $b - $a)', root)
+        assert res == [1001649601 - 1001476800]
+
+
+class TestFlwor:
+    def test_for_where_return(self, root):
+        res = query("for $e in $sirius/es/entry "
+                    "where $e/header/order_num > 9152 "
+                    "return $e/header/stream", root)
+        assert [n.value() for n in res] == ["DUO"]
+
+    def test_let_binding(self, root):
+        res = query("let $n := count($sirius/es/entry) return $n + 1", root)
+        assert res == [3]
+
+    def test_order_by(self, root):
+        res = query("for $e in $sirius/es/entry "
+                    "order by $e/header/order_num descending "
+                    "return $e/header/order_num", root)
+        assert [n.value() for n in res] == [9153, 9152]
+
+    def test_nested_for(self, root):
+        res = query("for $e in $sirius/es/entry "
+                    "for $v in $e/events/event "
+                    "return $v/state", root)
+        assert len(res) == 3
+
+
+class TestFunctionsAndOperators:
+    def test_arithmetic(self, root):
+        assert query("1 + 2 * 3", root) == [7]
+        assert query("(1 + 2) * 3", root) == [9]
+        assert query("7 div 2", root) == [3.5]
+        assert query("7 mod 2", root) == [1]
+
+    def test_boolean_ops(self, root):
+        assert query("1 < 2 and 2 < 3", root) == [True]
+        assert query("1 > 2 or 2 < 3", root) == [True]
+        assert query("not(1 > 2)", root) == [True]
+
+    def test_string_functions(self, root):
+        assert query('contains("hello", "ell")', root) == [True]
+        assert query('starts-with($sirius/es/entry[1]/header/order_type, "EDTF")',
+                     root) == [True]
+        assert query('string-length("abcd")', root) == [4]
+
+    def test_aggregates(self, root):
+        assert query("sum($sirius/es/entry/header/order_num)", root) == [9152 + 9153]
+        assert query("min($sirius/es/entry/header/order_num)", root) == [9152]
+        assert query("max($sirius/es/entry/header/order_num)", root) == [9153]
+
+    def test_distinct_values(self, root):
+        res = query("distinct-values($sirius/es/entry/header/stream)", root)
+        assert res == ["DUO"]
+
+    def test_exists_empty(self, root):
+        assert query("exists($sirius/es/entry[3])", root) == [False]
+        assert query("empty($sirius/es/entry[3])", root) == [True]
+
+    def test_if_then_else(self, root):
+        assert query("if (count($sirius/es/entry) = 2) then 'two' else 'other'",
+                     root) == ["two"]
+
+    def test_quantified(self, root):
+        assert query("every $e in $sirius/es/entry satisfies "
+                     "$e/header/order_num >= 9152", root) == [True]
+        assert query("some $e in $sirius/es/entry satisfies "
+                     "$e/header/zip_code = '07988'", root) == [True]
+
+    def test_sequence_expr(self, root):
+        assert query("(1, 2, 3)", root) == [1, 2, 3]
+        assert query("count((1, 2, 3))", root) == [3]
+
+
+class TestErrorsAndEdgeCases:
+    def test_unknown_function(self, root):
+        with pytest.raises(QueryError):
+            query("nosuch(1)", root)
+
+    def test_unbound_variable(self, root):
+        with pytest.raises(QueryError):
+            query("$nope/x", root)
+
+    def test_syntax_error(self, root):
+        with pytest.raises(QueryError):
+            query("for $x in", root)
+
+    def test_comments_ignored(self, root):
+        assert query("1 (: a comment :) + 2", root) == [3]
+
+    def test_reusable_compiled_query(self, root):
+        q = XQuery("count($sirius/es/entry)")
+        assert q.run(root) == [2]
+        assert q.run(root) == [2]
+
+    def test_query_over_buggy_data_pd(self, sirius):
+        bad = gallery.SIRIUS_SAMPLE.replace("|10|1000295291", "|10|z95291")
+        rep, pd = sirius.parse(bad)
+        root = node_new(sirius, rep, pd, None, name="sirius")
+        res = query("count($sirius/es/entry[pd/nerr >= 1])", root)
+        assert res == [1]

@@ -1,0 +1,186 @@
+"""Tests for the streaming summaries (paper Section 9 future work)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import gallery
+from repro.tools.accum import accumulate_records, Accumulator
+from repro.tools.summaries import (
+    NumericSummaries,
+    QuantileSketch,
+    ReservoirSample,
+    StreamingHistogram,
+    attach_summaries,
+)
+
+
+class TestStreamingHistogram:
+    def test_exact_when_few_distinct_values(self):
+        hist = StreamingHistogram(bins=8)
+        for v in [1, 1, 2, 2, 2, 9]:
+            hist.add(v)
+        assert hist.counts() == [(1.0, 2), (2.0, 3), (9.0, 1)]
+
+    def test_bin_bound_respected(self):
+        hist = StreamingHistogram(bins=16)
+        rng = random.Random(0)
+        for _ in range(10_000):
+            hist.add(rng.uniform(0, 1000))
+        assert len(hist.counts()) <= 16
+        assert hist.n == 10_000
+
+    def test_counts_are_conserved(self):
+        hist = StreamingHistogram(bins=4)
+        for v in range(100):
+            hist.add(v)
+        assert sum(c for _, c in hist.counts()) == 100
+
+    def test_cdf_monotone(self):
+        hist = StreamingHistogram(bins=8)
+        rng = random.Random(1)
+        for _ in range(5000):
+            hist.add(rng.gauss(0, 1))
+        xs = [-3, -1, 0, 1, 3]
+        cdfs = [hist.cdf(x) for x in xs]
+        assert cdfs == sorted(cdfs)
+        assert cdfs[0] < 0.2 and cdfs[-1] > 0.8
+
+    def test_render(self):
+        hist = StreamingHistogram(bins=4)
+        for v in (1, 1, 1, 5):
+            hist.add(v)
+        out = hist.render(width=10)
+        assert "#" in out and "1.00" in out
+
+    def test_min_bins(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram(bins=1)
+
+
+class TestQuantileSketch:
+    def test_uniform_quantiles_within_eps(self):
+        eps = 0.02
+        sketch = QuantileSketch(eps)
+        n = 20_000
+        rng = random.Random(3)
+        values = [rng.random() for _ in range(n)]
+        for v in values:
+            sketch.add(v)
+        values.sort()
+        for q in (0.1, 0.25, 0.5, 0.75, 0.9):
+            estimate = sketch.query(q)
+            true_rank = q * n
+            # Locate the estimate's true rank.
+            import bisect
+            rank = bisect.bisect_left(values, estimate)
+            assert abs(rank - true_rank) <= 3 * eps * n, (q, rank, true_rank)
+
+    def test_space_is_sublinear(self):
+        sketch = QuantileSketch(0.01)
+        rng = random.Random(4)
+        for _ in range(50_000):
+            sketch.add(rng.random())
+        assert sketch.space() < 5_000  # far below n
+
+    def test_sorted_and_reversed_streams(self):
+        for stream in (range(1000), reversed(range(1000))):
+            sketch = QuantileSketch(0.05)
+            for v in stream:
+                sketch.add(v)
+            median = sketch.query(0.5)
+            assert 350 <= median <= 650
+
+    def test_empty(self):
+        assert QuantileSketch(0.1).query(0.5) is None
+
+    def test_extremes(self):
+        sketch = QuantileSketch(0.05)
+        for v in range(100):
+            sketch.add(v)
+        assert sketch.query(0.0) <= 10
+        assert sketch.query(1.0) >= 90
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(-1000, 1000), min_size=10, max_size=500))
+    def test_property_median_within_bounds(self, values):
+        sketch = QuantileSketch(0.1)
+        for v in values:
+            sketch.add(v)
+        estimate = sketch.query(0.5)
+        values.sort()
+        import bisect
+        n = len(values)
+        # A duplicated value occupies a *range* of ranks; measure the
+        # distance from the target rank to that interval.
+        lo = bisect.bisect_left(values, estimate)
+        hi = bisect.bisect_right(values, estimate)
+        target = n / 2
+        dist = 0.0 if lo <= target <= hi else min(abs(lo - target),
+                                                  abs(hi - target))
+        assert dist <= max(2, 3 * 0.1 * n)
+
+
+class TestReservoirSample:
+    def test_holds_everything_when_small(self):
+        res = ReservoirSample(k=10)
+        for v in range(5):
+            res.add(v)
+        assert sorted(res.sample) == [0, 1, 2, 3, 4]
+
+    def test_size_bounded(self):
+        res = ReservoirSample(k=10, rng=random.Random(0))
+        for v in range(1000):
+            res.add(v)
+        assert len(res.sample) == 10
+
+    def test_roughly_uniform(self):
+        hits = [0] * 10
+        for trial in range(300):
+            res = ReservoirSample(k=3, rng=random.Random(trial))
+            for v in range(10):
+                res.add(v)
+            for v in res.sample:
+                hits[v] += 1
+        # Each element expected in ~30% of trials => ~90 hits; allow slack.
+        assert all(40 < h < 140 for h in hits), hits
+
+
+class TestAccumulatorIntegration:
+    def test_attach_and_feed(self, clf, rng):
+        from repro.tools.datagen import clf_workload
+        data = clf_workload(1000, rng, dash_rate=0.0)
+        acc = Accumulator(clf.node("entry_t"))
+        attach_summaries(acc, bins=16, eps=0.05)
+        for rep, pd in clf.records(data, "entry_t"):
+            acc.add(rep, pd)
+        length = acc.field("length").self_acc
+        assert length.summaries.quantiles.n == 1000
+        assert len(length.summaries.histogram.counts()) <= 16
+        median = length.summaries.quantiles.query(0.5)
+        assert length.min <= median <= length.max
+        report = length.summaries.report()
+        assert "p50" in report and "#" in report
+
+    def test_bad_values_not_fed(self, clf, rng):
+        from repro.tools.datagen import clf_workload
+        data = clf_workload(500, rng, dash_rate=0.2)
+        acc = Accumulator(clf.node("entry_t"))
+        attach_summaries(acc)
+        for rep, pd in clf.records(data, "entry_t"):
+            acc.add(rep, pd)
+        length = acc.field("length").self_acc
+        assert length.summaries.quantiles.n == length.good
+
+    def test_array_lengths_summarised(self, sirius, rng):
+        from repro.tools.datagen import sirius_workload
+        body = sirius_workload(300, rng, syntax_errors=0,
+                               sort_violations=0).split(b"\n", 1)[1]
+        acc = Accumulator(sirius.node("entry_t"))
+        attach_summaries(acc)
+        for rep, pd in sirius.records(body, "entry_t"):
+            acc.add(rep, pd)
+        lengths = acc.field("events").lengths
+        assert lengths.summaries.quantiles.n == 300
+        assert lengths.summaries.quantiles.query(0.5) >= 1

@@ -1,0 +1,183 @@
+"""Tests for description-level semantic analysis."""
+
+import pytest
+
+from repro.dsl.parser import parse_description
+from repro.dsl.typecheck import TypeErrorReport, check_description
+
+
+def check(text):
+    check_description(parse_description(text))
+
+
+def errors_of(text):
+    with pytest.raises(TypeErrorReport) as err:
+        check(text)
+    return err.value.diagnostics
+
+
+class TestNameResolution:
+    def test_unknown_type(self):
+        errs = errors_of("Pstruct p { Pnosuch x; };")
+        assert any("unknown type 'Pnosuch'" in e for e in errs)
+
+    def test_declare_before_use_enforced(self):
+        errs = errors_of("""
+          Pstruct p { later_t x; };
+          Pstruct later_t { Puint8 y; };
+        """)
+        assert any("later_t" in e and "unknown type" in e for e in errs)
+
+    def test_duplicate_type(self):
+        errs = errors_of("Pstruct p { Puint8 x; }; Penum p { A };")
+        assert any("duplicate declaration 'p'" in e for e in errs)
+
+    def test_duplicate_field(self):
+        errs = errors_of("Pstruct p { Puint8 x; Puint8 x; };")
+        assert any("duplicate field 'x'" in e for e in errs)
+
+    def test_duplicate_enum_literal_across_enums(self):
+        errs = errors_of("Penum a { GET }; Penum b { GET };")
+        assert any("redeclared" in e for e in errs)
+
+
+class TestPythonKeywordReservation:
+    def test_field_name(self):
+        errs = errors_of("Pstruct p { Puint8 try; };")
+        assert any("Python keyword" in e for e in errs)
+
+    def test_type_name(self):
+        errs = errors_of("Pstruct class { Puint8 x; };")
+        assert any("Python keyword" in e for e in errs)
+
+    def test_enum_literal(self):
+        errs = errors_of("Penum m { GET, lambda };")
+        assert any("Python keyword" in e for e in errs)
+
+    def test_union_branch(self):
+        errs = errors_of("Punion u { Puint8 pass; Pchar c; };")
+        assert any("Python keyword" in e for e in errs)
+
+    def test_function_and_params(self):
+        errs = errors_of("bool import(int del) { return true; };")
+        assert sum("Python keyword" in e for e in errs) == 2
+
+    def test_non_keywords_fine(self):
+        check("Pstruct p { Puint8 trying; Puint8 classes; };")
+
+
+class TestArity:
+    def test_base_type_arity(self):
+        errs = errors_of("Pstruct p { Puint32(:3:) x; };")
+        assert any("0 parameter" in e for e in errs)
+
+    def test_missing_required_parameter(self):
+        errs = errors_of("Pstruct p { Pstring x; };")
+        assert any("1 parameter" in e for e in errs)
+
+    def test_declared_type_arity(self):
+        errs = errors_of("""
+          Parray body_t(:int n:) { Puint8[n]; };
+          Pstruct p { body_t xs; };
+        """)
+        assert any("takes 1 parameter" in e for e in errs)
+
+    def test_correct_arity_accepted(self):
+        check("""
+          Parray body_t(:int n:) { Puint8[n]; };
+          Pstruct p { Puint8 n; body_t(:n:) xs; };
+        """)
+
+
+class TestConstraintScoping:
+    def test_later_field_not_in_scope(self):
+        errs = errors_of("Pstruct p { Puint8 a : a < b; Puint8 b; };")
+        assert any("unbound name 'b'" in e for e in errs)
+
+    def test_field_itself_in_scope(self):
+        check("Pstruct p { Puint8 a : a > 0; };")
+
+    def test_earlier_fields_in_scope(self):
+        check("Pstruct p { Puint8 a; Puint8 b : b >= a; };")
+
+    def test_enum_literals_in_scope(self):
+        check("Penum m { GET, PUT }; Pstruct p { m x : x == GET; };")
+
+    def test_functions_in_scope(self):
+        check("""
+          bool ok(int x) { return x > 0; };
+          Pstruct p { Puint8 a : ok(a); };
+        """)
+
+    def test_array_pseudo_vars(self):
+        check("""
+          Parray a { Puint8[] : Psep(',') && Plast(elts[length-1] == 0); }
+          Pwhere { length < 100 };
+        """)
+
+    def test_pseudo_vars_not_leaked_to_structs(self):
+        # `elts` is an array-only pseudo-variable; `length` by contrast is a
+        # builtin function and resolves everywhere.
+        errs = errors_of("Pstruct p { Puint8 a : elts[0] > 0; };")
+        assert any("unbound name 'elts'" in e for e in errs)
+
+    def test_forall_binds_its_variable(self):
+        check("""
+          Parray a { Puint8[] : Psep(','); }
+          Pwhere { Pforall (i Pin [0..length-1] : elts[i] < 10) };
+        """)
+
+    def test_typedef_var_in_scope(self):
+        check("Ptypedef Puint8 t : t x => { x > 0 };")
+
+    def test_unbound_in_function_body(self):
+        errs = errors_of("bool f(int a) { return a + zz > 0; };")
+        assert any("unbound name 'zz'" in e for e in errs)
+
+    def test_function_locals_bound(self):
+        check("int f(int a) { int b = a; for (int i = 0; i < b; i += 1) b += i; return b; };")
+
+
+class TestStructure:
+    def test_empty_union_rejected(self):
+        errs = errors_of("Punion u { };")
+        assert any("empty Punion" in e for e in errs)
+
+    def test_empty_enum_rejected(self):
+        # An empty Penum cannot be expressed grammatically; a single item is fine.
+        check("Penum m { ONLY };")
+
+    def test_multiple_pdefault_rejected(self):
+        errs = errors_of("""
+          Punion u(:int t:) {
+            Pswitch (t) {
+              Pdefault: Puint8 a;
+              Pdefault: Puint8 b;
+            }
+          };
+        """)
+        assert any("multiple Pdefault" in e for e in errs)
+
+    def test_multiple_psource_rejected(self):
+        errs = errors_of("""
+          Psource Pstruct a { Puint8 x; };
+          Psource Pstruct b { Puint8 y; };
+        """)
+        assert any("multiple Psource" in e for e in errs)
+
+    def test_duplicate_params(self):
+        errs = errors_of("Pstruct p(:int n, int n:) { Puint8 x; };")
+        assert any("duplicate parameter" in e for e in errs)
+
+    def test_params_usable_in_constraints(self):
+        check("Pstruct p(:int limit:) { Puint32 x : x < limit; };")
+
+
+class TestPaperDescriptionsCheck:
+    def test_clf_checks(self):
+        from repro import gallery
+        check_description(parse_description(gallery.CLF))
+
+    def test_sirius_checks(self):
+        from repro import gallery
+        check_description(parse_description(gallery.SIRIUS))
