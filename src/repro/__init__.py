@@ -21,6 +21,7 @@ from .core import (
     CompiledDescription,
     DescriptionError,
     ErrCode,
+    ErrorTally,
     FixedWidthRecords,
     LengthPrefixedRecords,
     Loc,
@@ -48,14 +49,16 @@ from .core import (
 )
 
 from . import gallery  # noqa: E402  (the paper's descriptions, ready to use)
+from . import parallel  # noqa: E402  (chunked map-reduce over records)
 
 __version__ = "1.0.0"
 
 __all__ = [
-    "CompiledDescription", "DescriptionError", "ErrCode",
+    "CompiledDescription", "DescriptionError", "ErrCode", "ErrorTally",
     "FixedWidthRecords", "LengthPrefixedRecords", "Loc", "Mask", "MaskFlag",
     "NewlineRecords", "NoRecords", "P_Check", "P_CheckAndSet", "P_Ignore",
     "P_SemCheck", "P_Set", "P_SynCheck", "PadsError", "Pd", "Pstate",
     "Rec", "Source", "UnionVal", "DateVal", "EnumVal",
-    "compile_description", "compile_file", "mask_init", "__version__",
+    "compile_description", "compile_file", "mask_init", "parallel",
+    "__version__",
 ]

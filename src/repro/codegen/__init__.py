@@ -154,6 +154,44 @@ class GeneratedDescription:
             count += 1
         return count
 
+    # -- parallel entry points ----------------------------------------------------
+    #
+    # Chunked map-reduce twins (:mod:`repro.parallel`); workers rebuild
+    # this generated module from its embedded SOURCE text, so the fast
+    # path runs in every worker.
+
+    @property
+    def source_text(self) -> str:
+        return self.module.SOURCE
+
+    @property
+    def ambient(self) -> str:
+        return self.module.AMBIENT
+
+    def records_parallel(self, data, type_name: str,
+                         mask: Optional[Mask] = None,
+                         *, jobs: Optional[int] = None):
+        """Order-preserving parallel record stream (``records`` twin)."""
+        from ..parallel import parallel_records
+        return parallel_records(self, data, type_name, mask, jobs=jobs)
+
+    def accumulate_parallel(self, data, record_type: str,
+                            mask: Optional[Mask] = None,
+                            *, jobs: Optional[int] = None,
+                            tracked: int = 1000,
+                            header_type: Optional[str] = None,
+                            summaries: bool = False):
+        """Parallel accumulation: returns ``(acc, header_acc, tally)``."""
+        from ..parallel import parallel_accumulate
+        return parallel_accumulate(self, data, record_type, mask, jobs=jobs,
+                                   tracked=tracked, header_type=header_type,
+                                   summaries=summaries)
+
+    def count_records_parallel(self, data, *, jobs: Optional[int] = None) -> int:
+        """Parallel record counting (``count_records`` twin)."""
+        from ..parallel import parallel_count
+        return parallel_count(self, data, jobs=jobs)
+
     def write(self, rep, type_name: Optional[str] = None, *params) -> bytes:
         gen = self._gen(type_name)
         out = []

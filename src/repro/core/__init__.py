@@ -1,13 +1,23 @@
 """Runtime core: IO, errors, masks, base types, combinators, API."""
 
 from .api import CompiledDescription, compile_description, compile_file
-from .errors import DescriptionError, ErrCode, Loc, PadsError, Pd, Pstate
+from .errors import (
+    DescriptionError,
+    ErrCode,
+    ErrorTally,
+    Loc,
+    PadsError,
+    Pd,
+    Pstate,
+)
 from .io import (
     FixedWidthRecords,
     LengthPrefixedRecords,
     NewlineRecords,
     NoRecords,
     Source,
+    plan_chunks,
+    plan_file_chunks,
 )
 from .masks import (
     Mask,
@@ -24,9 +34,10 @@ from .values import DateVal, EnumVal, Rec, UnionVal
 
 __all__ = [
     "CompiledDescription", "compile_description", "compile_file",
-    "DescriptionError", "ErrCode", "Loc", "PadsError", "Pd", "Pstate",
+    "DescriptionError", "ErrCode", "ErrorTally", "Loc", "PadsError", "Pd",
+    "Pstate",
     "FixedWidthRecords", "LengthPrefixedRecords", "NewlineRecords",
-    "NoRecords", "Source",
+    "NoRecords", "Source", "plan_chunks", "plan_file_chunks",
     "Mask", "MaskFlag", "P_Check", "P_CheckAndSet", "P_Ignore",
     "P_SemCheck", "P_Set", "P_SynCheck", "mask_init",
     "DateVal", "EnumVal", "Rec", "UnionVal",

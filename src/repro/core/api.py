@@ -36,11 +36,15 @@ class CompiledDescription:
     generated ``.h``/``.c`` library."""
 
     def __init__(self, bound: BoundDescription,
-                 discipline: Optional[RecordDiscipline] = None):
+                 discipline: Optional[RecordDiscipline] = None,
+                 source_text: Optional[str] = None):
         self.bound = bound
         self.desc = bound.desc
         self.ambient = bound.ambient
         self.discipline = discipline or NewlineRecords()
+        #: The original description source, kept so worker processes can
+        #: recompile the description (:mod:`repro.parallel`).
+        self.source_text = source_text
         bound.global_env.vars["_pads_discipline"] = self.discipline
 
     # -- introspection ----------------------------------------------------------
@@ -65,6 +69,8 @@ class CompiledDescription:
     # -- sources ------------------------------------------------------------------
 
     def open(self, data: Data) -> Source:
+        # Strings are encoded latin-1 (byte-transparent) everywhere in the
+        # runtime; see the :mod:`repro.core.io` module docstring.
         if isinstance(data, Source):
             return data
         if isinstance(data, str):
@@ -127,6 +133,38 @@ class CompiledDescription:
             count += 1
         return count
 
+    # -- parallel entry points ---------------------------------------------------
+    #
+    # Chunked map-reduce twins of the serial entry points above
+    # (:mod:`repro.parallel`).  ``data`` may additionally be an
+    # ``os.PathLike``, in which case each worker opens its own window of
+    # the file.  All of them fall back to the serial path when ``jobs``
+    # is 1 or the record discipline cannot be chunk-aligned.
+
+    def records_parallel(self, data, type_name: str,
+                         mask: Optional[Mask] = None,
+                         *, jobs: Optional[int] = None):
+        """Order-preserving parallel record stream (``records`` twin)."""
+        from ..parallel import parallel_records
+        return parallel_records(self, data, type_name, mask, jobs=jobs)
+
+    def accumulate_parallel(self, data, record_type: str,
+                            mask: Optional[Mask] = None,
+                            *, jobs: Optional[int] = None,
+                            tracked: int = 1000,
+                            header_type: Optional[str] = None,
+                            summaries: bool = False):
+        """Parallel accumulation: returns ``(acc, header_acc, tally)``."""
+        from ..parallel import parallel_accumulate
+        return parallel_accumulate(self, data, record_type, mask, jobs=jobs,
+                                   tracked=tracked, header_type=header_type,
+                                   summaries=summaries)
+
+    def count_records_parallel(self, data, *, jobs: Optional[int] = None) -> int:
+        """Parallel record counting (``count_records`` twin)."""
+        from ..parallel import parallel_count
+        return parallel_count(self, data, jobs=jobs)
+
     # -- writing -------------------------------------------------------------------
 
     def write(self, rep, type_name: Optional[str] = None) -> bytes:
@@ -177,7 +215,7 @@ def compile_description(text: str, *, ambient: str = "ascii",
     if check:
         check_description(desc, ambient)
     bound = bind_description(desc, ambient)
-    return CompiledDescription(bound, discipline)
+    return CompiledDescription(bound, discipline, source_text=text)
 
 
 def compile_file(path: str, **kwargs) -> CompiledDescription:

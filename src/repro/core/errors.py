@@ -194,6 +194,84 @@ class Pd:
         return f"{self.nerr} error(s), first {self.err_code.name}{where}"
 
 
+class ErrorTally:
+    """A mergeable aggregate of parse-descriptor outcomes.
+
+    The reduce side of the parallel engine: each worker folds its chunk's
+    parse descriptors into a tally (:meth:`add`), and the parent combines
+    the per-chunk tallies (:meth:`merge`).  Folding every pd of a serial
+    run into one tally produces the identical result — ``merge`` is the
+    homomorphic image of ``add`` — which is what lets the parallel path
+    report byte-identical error totals.
+
+    ``first_error`` is the error whose location has the smallest absolute
+    byte offset, which is well-defined across chunks because windowed
+    sources report absolute offsets.
+    """
+
+    __slots__ = ("records", "bad_records", "total_errors", "by_code",
+                 "first_error_code", "first_error_loc")
+
+    def __init__(self):
+        self.records = 0
+        self.bad_records = 0
+        self.total_errors = 0
+        self.by_code: dict = {}
+        self.first_error_code: Optional[ErrCode] = None
+        self.first_error_loc: Optional[Loc] = None
+
+    @property
+    def good_records(self) -> int:
+        return self.records - self.bad_records
+
+    def add(self, pd: "Pd") -> None:
+        """Fold one record's parse descriptor into the tally."""
+        self.records += 1
+        if not pd.nerr:
+            return
+        self.bad_records += 1
+        self.total_errors += pd.nerr
+        name = pd.err_code.name
+        self.by_code[name] = self.by_code.get(name, 0) + 1
+        self._note_first(pd.err_code, pd.loc)
+
+    def _note_first(self, code: ErrCode, loc: Optional[Loc]) -> None:
+        if self.first_error_code is None:
+            self.first_error_code, self.first_error_loc = code, loc
+            return
+        if loc is not None and (self.first_error_loc is None
+                                or loc.offset < self.first_error_loc.offset):
+            self.first_error_code, self.first_error_loc = code, loc
+
+    def merge(self, other: "ErrorTally") -> "ErrorTally":
+        """Combine another tally into this one (commutative on every
+        field except ``first_error``, which prefers the smaller offset)."""
+        self.records += other.records
+        self.bad_records += other.bad_records
+        self.total_errors += other.total_errors
+        for name, count in other.by_code.items():
+            self.by_code[name] = self.by_code.get(name, 0) + count
+        if other.first_error_code is not None:
+            self._note_first(other.first_error_code, other.first_error_loc)
+        return self
+
+    def summary(self) -> str:
+        if not self.bad_records:
+            return f"{self.records} records, all ok"
+        parts = ", ".join(f"{name}: {count}" for name, count
+                          in sorted(self.by_code.items(), key=lambda kv: -kv[1]))
+        where = ""
+        if self.first_error_loc is not None:
+            where = f", first at {self.first_error_loc}"
+        return (f"{self.records} records, {self.bad_records} with errors "
+                f"({self.total_errors} total{where}) — {parts}")
+
+    def __repr__(self) -> str:
+        return (f"ErrorTally(records={self.records}, "
+                f"bad_records={self.bad_records}, "
+                f"total_errors={self.total_errors})")
+
+
 class PadsError(Exception):
     """Base class for exceptions raised by the repro PADS system itself.
 

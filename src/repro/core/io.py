@@ -13,16 +13,35 @@ record varies depending upon the data encoding").  This module provides:
 
 All reads are clamped to the current record when a record is open, so a
 panicking parser can never run past a record boundary.
+
+For the parallel engine (:mod:`repro.parallel`) this module also provides
+*chunk planning*: disciplines that can locate a record boundary from an
+arbitrary byte offset declare ``chunkable = True`` and implement
+``align``, and :func:`plan_chunks` uses that to split an input into
+record-aligned byte ranges.  A :class:`Source` can be opened over such a
+range (``start``/``end``), in which case it reports absolute offsets but
+behaves as if the window were the whole input.
+
+Text handling note: strings given to the runtime are encoded **latin-1**
+everywhere (``Source.from_string``, ``CompiledDescription.open``).
+Latin-1 is the byte-transparent choice — every byte value 0-255 maps to
+exactly one code point — so parsing, writing and error offsets agree with
+the underlying bytes, matching the paper's byte-oriented C runtime.
 """
 
 from __future__ import annotations
 
 import io as _stdio
-from typing import BinaryIO, Optional
+import os
+from typing import BinaryIO, List, Optional, Tuple
 
 from .errors import Loc
 
 _CHUNK = 1 << 16
+
+#: Smallest chunk worth fanning out to a worker process; splits finer than
+#: this cost more in process traffic than the parsing they save.
+MIN_CHUNK_BYTES = 1 << 16
 
 
 class RecordDiscipline:
@@ -38,8 +57,25 @@ class RecordDiscipline:
 
     name = "none"
 
+    #: True when record boundaries can be located from an arbitrary byte
+    #: offset without replaying the stream from the start — the property
+    #: the parallel engine needs to split a file into independent chunks.
+    chunkable = False
+
     def bounds(self, src: "Source", pos: int):  # pragma: no cover - abstract
         raise NotImplementedError
+
+    def align(self, handle: BinaryIO, offset: int, size: int,
+              origin: int = 0) -> Optional[int]:
+        """Absolute offset of the first record boundary at or after
+        ``offset`` in the seekable binary ``handle`` of ``size`` bytes.
+
+        ``origin`` is where the record stream begins (non-zero when a
+        header precedes the records).  Returns ``None`` when the
+        discipline cannot align from an arbitrary offset (``chunkable``
+        is False).  ``origin`` and ``size`` are always boundaries.
+        """
+        return None
 
     def trailer(self, content: bytes) -> bytes:
         """Bytes to append after a record's payload when writing."""
@@ -58,6 +94,26 @@ class NewlineRecords(RecordDiscipline):
     """
 
     name = "newline"
+    chunkable = True
+
+    def align(self, handle: BinaryIO, offset: int, size: int,
+              origin: int = 0) -> Optional[int]:
+        if offset <= origin:
+            return origin
+        if offset >= size:
+            return size
+        # A boundary is any position immediately after a '\n', so scan for
+        # the first newline at or after offset-1.
+        handle.seek(offset - 1)
+        pos = offset - 1
+        while True:
+            chunk = handle.read(_CHUNK)
+            if not chunk:
+                return size
+            idx = chunk.find(b"\n")
+            if idx >= 0:
+                return min(pos + idx + 1, size)
+            pos += len(chunk)
 
     def bounds(self, src: "Source", pos: int):
         if not src._ensure(pos, 1):
@@ -79,11 +135,21 @@ class FixedWidthRecords(RecordDiscipline):
     """Fixed-width records (typical for binary sources, paper Figure 1)."""
 
     name = "fixed"
+    chunkable = True
 
     def __init__(self, width: int):
         if width <= 0:
             raise ValueError("record width must be positive")
         self.width = width
+
+    def align(self, handle: BinaryIO, offset: int, size: int,
+              origin: int = 0) -> Optional[int]:
+        if offset <= origin:
+            return origin
+        # Round up to the next record multiple (counted from ``origin``);
+        # a short final record belongs to the last chunk.
+        return min(origin + -(-(offset - origin) // self.width) * self.width,
+                   size)
 
     def bounds(self, src: "Source", pos: int):
         if not src._ensure(pos, 1):
@@ -153,7 +219,8 @@ class Source:
     """
 
     def __init__(self, data: bytes | None = None, *, stream: Optional[BinaryIO] = None,
-                 discipline: Optional[RecordDiscipline] = None):
+                 discipline: Optional[RecordDiscipline] = None,
+                 start: int = 0, end: Optional[int] = None):
         if (data is None) == (stream is None):
             raise ValueError("provide exactly one of data or stream")
         self._buf = bytearray(data or b"")
@@ -162,12 +229,22 @@ class Source:
         self._eof = stream is None
         self.pos = 0
         self.discipline: RecordDiscipline = discipline or NewlineRecords()
+        # Window bounds: the cursor works in absolute offsets of the whole
+        # underlying input, but behaves as if [start, end) were all of it.
+        # With ``data``, the given bytes ARE the window and ``start`` is
+        # the absolute offset of their first byte.
+        self._hard_end = end
+        if start:
+            if stream is not None:
+                stream.seek(start)
+            self._base = start
+            self.pos = start
 
         self.in_record = False
         self.record_idx = -1
-        self.rec_start = 0
-        self.rec_end = 0
-        self.rec_next = 0
+        self.rec_start = start
+        self.rec_end = start
+        self.rec_next = start
         self._checkpoints = 0
 
     # -- constructors ------------------------------------------------------
@@ -178,11 +255,19 @@ class Source:
 
     @classmethod
     def from_string(cls, text: str, discipline: Optional[RecordDiscipline] = None) -> "Source":
-        return cls(text.encode("utf-8"), discipline=discipline)
+        # latin-1: byte-transparent, and consistent with the rest of the
+        # runtime (see the module docstring).
+        return cls(text.encode("latin-1"), discipline=discipline)
 
     @classmethod
-    def from_file(cls, path: str, discipline: Optional[RecordDiscipline] = None) -> "Source":
-        return cls(stream=open(path, "rb"), discipline=discipline)
+    def from_file(cls, path: str, discipline: Optional[RecordDiscipline] = None,
+                  *, start: int = 0, end: Optional[int] = None) -> "Source":
+        """Open ``path``, optionally windowed to the byte range
+        ``[start, end)``.  ``start`` must be a record boundary (use
+        :func:`plan_chunks` to compute aligned ranges); offsets reported
+        in locations remain absolute file offsets."""
+        return cls(stream=open(path, "rb"), discipline=discipline,
+                   start=start, end=end)
 
     def close(self) -> None:
         if self._stream is not None:
@@ -203,17 +288,35 @@ class Source:
         return self._base + len(self._buf)
 
     def _fill(self, want: int) -> None:
-        """Read from the stream until ``want`` absolute bytes exist or EOF."""
+        """Read from the stream until ``want`` absolute bytes exist or EOF.
+
+        Reads never cross the window's ``end``: a windowed source is at
+        EOF once the window is exhausted, even mid-file.
+        """
+        cap = self._hard_end
+        if cap is not None and want > cap:
+            want = cap
         while not self._eof and self._end() < want:
-            chunk = self._stream.read(max(_CHUNK, want - self._end()))
+            n = max(_CHUNK, want - self._end())
+            if cap is not None:
+                n = min(n, cap - self._end())
+                if n <= 0:
+                    break
+            chunk = self._stream.read(n)
             if not chunk:
                 self._eof = True
                 break
             self._buf.extend(chunk)
 
     def _read_all(self) -> None:
+        cap = self._hard_end
         while not self._eof:
-            chunk = self._stream.read(_CHUNK)
+            n = _CHUNK
+            if cap is not None:
+                n = min(n, cap - self._end())
+                if n <= 0:
+                    break
+            chunk = self._stream.read(n)
             if not chunk:
                 self._eof = True
                 break
@@ -465,3 +568,49 @@ class Source:
 
     def here(self) -> Loc:
         return Loc(self.pos, self.pos, self.record_idx)
+
+
+# -- chunk planning -----------------------------------------------------------
+
+
+def plan_chunks(handle: BinaryIO, size: int, discipline: RecordDiscipline,
+                n_chunks: int, min_chunk: int = MIN_CHUNK_BYTES,
+                start: int = 0) -> Optional[List[Tuple[int, int]]]:
+    """Split ``[start, size)`` into up to ``n_chunks`` record-aligned ranges.
+
+    ``handle`` is any seekable binary file (a real file or ``BytesIO``);
+    it is only used to locate boundaries, and its position afterwards is
+    unspecified.  ``start`` lets chunk planning begin after a serially
+    parsed prefix (e.g. a header record); it must itself be a record
+    boundary.  Returns a list of ``(start, end)`` ranges that exactly
+    tile ``[start, size)``, or ``None`` when splitting is not possible or
+    not worthwhile (discipline not chunkable, input too small, fewer than
+    two resulting chunks) — the caller should then use the serial path.
+    """
+    span = size - start
+    if span <= 0 or n_chunks <= 1 or not discipline.chunkable:
+        return None
+    n_chunks = min(n_chunks, max(1, span // max(1, min_chunk)))
+    if n_chunks <= 1:
+        return None
+    cuts = [start]
+    for i in range(1, n_chunks):
+        boundary = discipline.align(handle, start + span * i // n_chunks, size,
+                                    origin=start)
+        if boundary is None:
+            return None
+        if cuts[-1] < boundary < size:
+            cuts.append(boundary)
+    cuts.append(size)
+    if len(cuts) <= 2:
+        return None
+    return list(zip(cuts, cuts[1:]))
+
+
+def plan_file_chunks(path: str, discipline: RecordDiscipline, n_chunks: int,
+                     min_chunk: int = MIN_CHUNK_BYTES,
+                     start: int = 0) -> Optional[List[Tuple[int, int]]]:
+    """:func:`plan_chunks` over a file on disk."""
+    size = os.path.getsize(path)
+    with open(path, "rb") as handle:
+        return plan_chunks(handle, size, discipline, n_chunks, min_chunk, start)

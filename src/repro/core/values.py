@@ -84,6 +84,14 @@ class UnionVal:
     def __setattr__(self, name, value):
         raise AttributeError("union values are immutable; build a new one")
 
+    def __reduce__(self):
+        # Default slot-based unpickling would trip the immutability guard;
+        # rebuild through the constructor instead (parallel workers ship
+        # parsed reps back to the parent by pickle).
+        return (UnionVal,
+                (object.__getattribute__(self, "tag"),
+                 object.__getattribute__(self, "value")))
+
     def __eq__(self, other) -> bool:
         if isinstance(other, UnionVal):
             return self.tag == other.tag and self.value == other.value

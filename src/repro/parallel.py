@@ -1,0 +1,399 @@
+"""Chunked map-reduce execution over record boundaries.
+
+The paper's multiple-entry-point design (Section 4) makes records
+independent units of work, and its headline benchmark (Figure 10) is
+throughput over an 11.7M-record file — an embarrassingly parallel
+workload that the serial runtime drives through one core.  This module
+adds the missing execution engine:
+
+1. **Plan** — split the input at record boundaries using the record
+   discipline's ``align`` logic (:func:`repro.core.io.plan_chunks`), so
+   every chunk starts exactly where a record starts.
+2. **Map** — fan the chunks out to a process pool.  Each worker process
+   compiles the description once (or, under ``fork``, inherits the
+   parent's already-compiled description) and parses its chunk through
+   the ordinary serial machinery over a windowed :class:`Source`.
+3. **Reduce** — combine per-chunk results in chunk order: record streams
+   concatenate, accumulators :meth:`~repro.tools.accum.Accumulator.merge`,
+   error tallies :meth:`~repro.core.errors.ErrorTally.merge`, counts sum.
+
+Every entry point is observationally equivalent to its serial twin and
+falls back to the serial path whenever splitting is impossible or not
+worthwhile: ``jobs <= 1``, a non-chunkable record discipline
+(:class:`~repro.core.io.NoRecords`, length-prefixed records), inputs
+smaller than one chunk, an already-open :class:`Source`, or a
+description whose source text is unavailable.  The parallel path is an
+optimisation, never a semantic fork.
+
+Inputs may be ``bytes``/``str`` (in-memory, chunks are sliced and shipped
+to workers) or an :class:`os.PathLike` (each worker opens its own windowed
+file handle — the cheap path for large files).  Byte offsets in error
+locations are absolute by construction (windowed Sources preserve them);
+record *indices* come out of workers chunk-local and are rebased to
+global during the reduce, so error locations match the serial run
+exactly.  Known caveat: user base types registered with
+``load_base_type_files`` reach workers only via ``fork``.
+"""
+
+from __future__ import annotations
+
+import io as _stdio
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .core.errors import ErrorTally
+from .core.io import RecordDiscipline, Source, plan_chunks
+from .tools.accum import DEFAULT_TRACKED, Accumulator
+
+__all__ = [
+    "DescSpec", "parallel_records", "parallel_accumulate", "parallel_count",
+    "parallel_tally", "tally_records", "shutdown",
+]
+
+
+# -- description specs ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DescSpec:
+    """A picklable recipe for rebuilding a compiled description inside a
+    worker process: the description source text, the ambient coding, which
+    engine to use ('generated' or 'interp') and the record discipline."""
+
+    text: str
+    ambient: str
+    engine: str
+    discipline: RecordDiscipline
+
+    def key(self) -> tuple:
+        d = self.discipline
+        return (self.text, self.ambient, self.engine, type(d).__name__,
+                getattr(d, "width", None), getattr(d, "prefix", None),
+                getattr(d, "byteorder", None), getattr(d, "inclusive", None))
+
+
+def _spec_for(description) -> Optional[DescSpec]:
+    """Build a spec for a description, or None when it cannot be shipped
+    to workers (no source text — e.g. a hand-constructed binding)."""
+    module = getattr(description, "module", None)
+    if module is not None and hasattr(module, "SOURCE"):
+        return DescSpec(module.SOURCE, module.AMBIENT, "generated",
+                        description.discipline)
+    text = getattr(description, "source_text", None)
+    ambient = getattr(description, "ambient", None)
+    if text is None or ambient is None:
+        return None
+    return DescSpec(text, ambient, "interp", description.discipline)
+
+
+#: Per-process cache of compiled descriptions.  The parent seeds it with
+#: its own description before creating a pool, so fork-started workers
+#: never recompile; spawn-started workers compile once per process.
+_COMPILED: Dict[tuple, object] = {}
+
+
+def _materialise(spec: DescSpec):
+    key = spec.key()
+    desc = _COMPILED.get(key)
+    if desc is None:
+        if spec.engine == "generated":
+            from .codegen import compile_generated
+            desc = compile_generated(spec.text, ambient=spec.ambient,
+                                     discipline=spec.discipline, check=False)
+        else:
+            from .core.api import compile_description
+            desc = compile_description(spec.text, ambient=spec.ambient,
+                                       discipline=spec.discipline, check=False)
+        _COMPILED[key] = desc
+    return desc
+
+
+# -- worker pool ---------------------------------------------------------------
+
+_POOLS: Dict[int, ProcessPoolExecutor] = {}
+
+
+def _pool(jobs: int) -> ProcessPoolExecutor:
+    pool = _POOLS.get(jobs)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=jobs)
+        _POOLS[jobs] = pool
+    return pool
+
+
+def shutdown() -> None:
+    """Shut down any worker pools this module created (optional; pools
+    are also reaped at interpreter exit)."""
+    for pool in _POOLS.values():
+        pool.shutdown(wait=True, cancel_futures=True)
+    _POOLS.clear()
+
+
+# -- planning ------------------------------------------------------------------
+
+
+def _plan_windows(description, data, jobs: Optional[int],
+                  start: int = 0) -> Optional[Tuple[List[tuple], int]]:
+    """Record-aligned windows for ``data`` (from offset ``start``), or
+    None when the serial path should be used instead."""
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    if jobs <= 1:
+        return None
+    discipline = description.discipline
+    if not discipline.chunkable or _spec_for(description) is None:
+        return None
+    if isinstance(data, os.PathLike):
+        path = os.fspath(data)
+        size = os.path.getsize(path)
+        with open(path, "rb") as handle:
+            chunks = plan_chunks(handle, size, discipline, jobs, start=start)
+        if not chunks:
+            return None
+        return [("file", path, s, e) for s, e in chunks], jobs
+    if isinstance(data, (bytes, bytearray, str)):
+        raw = data.encode("latin-1") if isinstance(data, str) else bytes(data)
+        chunks = plan_chunks(_stdio.BytesIO(raw), len(raw), discipline, jobs,
+                             start=start)
+        if not chunks:
+            return None
+        # Each worker receives only its slice; ``start`` keeps reported
+        # byte offsets absolute.
+        return [("bytes", raw[s:e], s) for s, e in chunks], jobs
+    return None  # an open Source (or anything else): serial only
+
+
+def _open_window(window: tuple, discipline: RecordDiscipline) -> Source:
+    if window[0] == "file":
+        _, path, start, end = window
+        return Source.from_file(path, discipline, start=start, end=end)
+    _, chunk, offset = window
+    return Source(chunk, discipline=discipline, start=offset)
+
+
+def _serial_input(description, data):
+    if isinstance(data, os.PathLike):
+        return description.open_file(os.fspath(data))
+    return data
+
+
+# -- map functions (run inside workers) ----------------------------------------
+
+
+def _map_records(task) -> list:
+    spec, window, type_name, mask = task
+    desc = _materialise(spec)
+    src = _open_window(window, desc.discipline)
+    with src:
+        return list(desc.records(src, type_name, mask))
+
+
+def _map_count(task) -> int:
+    spec, window = task
+    desc = _materialise(spec)
+    src = _open_window(window, desc.discipline)
+    with src:
+        count = 0
+        while src.begin_record():
+            src.end_record()
+            count += 1
+        return count
+
+
+def _map_tally(task) -> ErrorTally:
+    spec, window, type_name, mask = task
+    desc = _materialise(spec)
+    src = _open_window(window, desc.discipline)
+    tally = ErrorTally()
+    with src:
+        for _rep, pd in desc.records(src, type_name, mask):
+            tally.add(pd)
+    return tally
+
+
+def _map_accum(task) -> Tuple[Accumulator, ErrorTally]:
+    spec, window, record_type, mask, tracked, summaries = task
+    desc = _materialise(spec)
+    acc = Accumulator(desc.node(record_type), "<top>", tracked)
+    if summaries:
+        from .tools.summaries import attach_summaries
+        attach_summaries(acc)
+    tally = ErrorTally()
+    src = _open_window(window, desc.discipline)
+    with src:
+        for rep, pd in desc.records(src, record_type, mask):
+            acc.add(rep, pd)
+            tally.add(pd)
+    return acc, tally
+
+
+def _seed(description, spec: DescSpec) -> None:
+    # Let fork-started workers inherit the already-compiled description.
+    _COMPILED.setdefault(spec.key(), description)
+
+
+# -- reduce helpers ------------------------------------------------------------
+
+
+def _rebase_pd(pd, offset: int, cache: dict) -> None:
+    """Rebase chunk-local record indices in an error pd tree to global.
+
+    Locations are only attached where errors were reported, so clean
+    subtrees (``nerr == 0``) are skipped and the walk costs nothing for
+    the common case.  ``Loc`` is frozen; rebased copies are cached by
+    identity so locations shared between pd nodes stay shared.
+    """
+    if pd is None or pd.nerr == 0 or offset == 0:
+        return
+    loc = pd.loc
+    if loc is not None and loc.record >= 0:
+        new = cache.get(id(loc))
+        if new is None:
+            new = replace(loc, record=loc.record + offset)
+            cache[id(loc)] = new
+        pd.loc = new
+    if pd._fields:
+        for child in pd._fields.values():
+            _rebase_pd(child, offset, cache)
+    if pd._elts:
+        for child in pd._elts:
+            _rebase_pd(child, offset, cache)
+    _rebase_pd(pd.branch, offset, cache)
+
+
+def _rebase_tally(tally: ErrorTally, offset: int) -> None:
+    loc = tally.first_error_loc
+    if loc is not None and loc.record >= 0 and offset:
+        tally.first_error_loc = replace(loc, record=loc.record + offset)
+
+
+# -- public entry points -------------------------------------------------------
+
+
+def parallel_records(description, data, type_name: str, mask=None,
+                     *, jobs: Optional[int] = None) -> Iterator[tuple]:
+    """Parallel twin of ``description.records``: yields ``(rep, pd)``
+    pairs in input order.  Workers parse whole chunks, the parent yields
+    chunk results in chunk order."""
+    plan = _plan_windows(description, data, jobs)
+    if plan is None:
+        yield from description.records(_serial_input(description, data),
+                                       type_name, mask)
+        return
+    windows, jobs = plan
+    spec = _spec_for(description)
+    _seed(description, spec)
+    tasks = [(spec, w, type_name, mask) for w in windows]
+    base = 0
+    for chunk in _pool(jobs).map(_map_records, tasks):
+        cache: dict = {}
+        for rep, pd in chunk:
+            _rebase_pd(pd, base, cache)
+            yield rep, pd
+        base += len(chunk)
+
+
+def parallel_count(description, data, *, jobs: Optional[int] = None) -> int:
+    """Parallel twin of ``description.count_records``."""
+    plan = _plan_windows(description, data, jobs)
+    if plan is None:
+        return description.count_records(_serial_input(description, data))
+    windows, jobs = plan
+    spec = _spec_for(description)
+    _seed(description, spec)
+    tasks = [(spec, w) for w in windows]
+    return sum(_pool(jobs).map(_map_count, tasks))
+
+
+def tally_records(description, data, type_name: str, mask=None) -> ErrorTally:
+    """Serial vetting reducer: fold every record's pd into one tally."""
+    tally = ErrorTally()
+    for _rep, pd in description.records(_serial_input(description, data),
+                                        type_name, mask):
+        tally.add(pd)
+    return tally
+
+
+def parallel_tally(description, data, type_name: str, mask=None,
+                   *, jobs: Optional[int] = None) -> ErrorTally:
+    """Parallel vetting: parse every record, reduce the parse descriptors
+    to an :class:`ErrorTally` inside the workers, merge in chunk order.
+    Identical totals to :func:`tally_records` by construction."""
+    plan = _plan_windows(description, data, jobs)
+    if plan is None:
+        return tally_records(description, data, type_name, mask)
+    windows, jobs = plan
+    spec = _spec_for(description)
+    _seed(description, spec)
+    tasks = [(spec, w, type_name, mask) for w in windows]
+    tally = ErrorTally()
+    base = 0
+    for part in _pool(jobs).map(_map_tally, tasks):
+        _rebase_tally(part, base)
+        base += part.records
+        tally.merge(part)
+    return tally
+
+
+def parallel_accumulate(description, data, record_type: str, mask=None,
+                        *, jobs: Optional[int] = None,
+                        tracked: int = DEFAULT_TRACKED,
+                        header_type: Optional[str] = None,
+                        summaries: bool = False):
+    """Parallel twin of :func:`repro.tools.accum.accumulate_records`.
+
+    Returns ``(record_accumulator, header_accumulator_or_None, tally)``
+    where ``tally.records`` is the record count.  When a ``header_type``
+    is given, the header is parsed serially in the parent and chunk
+    planning starts after it.
+    """
+    header_acc = None
+    start = 0
+    base = 0  # records consumed before the chunked region (the header)
+    if header_type is not None:
+        header_acc = Accumulator(description.node(header_type), "<header>",
+                                 tracked)
+        src = description.open(_serial_input(description, data)) \
+            if not isinstance(data, os.PathLike) \
+            else description.open_file(os.fspath(data))
+        rep, pd = description.parse(src, header_type)
+        header_acc.add(rep, pd)
+        start = src.pos
+        base = src.record_idx + 1
+        if isinstance(data, os.PathLike):
+            src.close()
+
+    plan = _plan_windows(description, data, jobs, start=start)
+    acc = Accumulator(description.node(record_type), "<top>", tracked)
+    if summaries:
+        from .tools.summaries import attach_summaries
+        attach_summaries(acc)
+    tally = ErrorTally()
+
+    if plan is None:
+        if header_type is not None and not isinstance(data, os.PathLike):
+            records_input = src  # continue from where the header ended
+        elif header_type is not None:
+            records_input = Source.from_file(os.fspath(data),
+                                             description.discipline,
+                                             start=start)
+        else:
+            records_input = _serial_input(description, data)
+        for rep, pd in description.records(records_input, record_type, mask):
+            acc.add(rep, pd)
+            tally.add(pd)
+        return acc, header_acc, tally
+
+    windows, jobs = plan
+    spec = _spec_for(description)
+    _seed(description, spec)
+    tasks = [(spec, w, record_type, mask, tracked, summaries)
+             for w in windows]
+    for part_acc, part_tally in _pool(jobs).map(_map_accum, tasks):
+        acc.merge(part_acc)
+        _rebase_tally(part_tally, base)
+        base += part_tally.records
+        tally.merge(part_tally)
+    return acc, header_acc, tally

@@ -99,6 +99,54 @@ class ScalarAccum:
             self.values[key] = 1
             self.tracked_count += 1
 
+    def merge(self, other: "ScalarAccum") -> "ScalarAccum":
+        """Combine another scalar accumulator into this one.
+
+        Counts, numeric stats (min/max/sum) and the error-code histogram
+        merge exactly: merging accumulators built over any split of a
+        record stream gives the same values as accumulating the whole
+        stream.  The value-distribution table is exact as long as the
+        number of distinct values stays within ``tracked_limit``.  Under
+        overflow the merge mirrors the serial first-seen admission policy
+        — keep this side's keys, admit the other side's new keys in their
+        first-seen order until full — so the tracked key set matches the
+        serial run except when a part's own table overflowed before
+        seeing a key the serial run would have admitted; every reported
+        count is then a lower bound on the true count (the documented
+        tolerance).
+        """
+        self.good += other.good
+        self.bad += other.bad
+        self.total += other.total
+        if other.min is not None:
+            self.min = other.min if self.min is None else min(self.min, other.min)
+        if other.max is not None:
+            self.max = other.max if self.max is None else max(self.max, other.max)
+        for name, count in other.err_codes.items():
+            self.err_codes[name] = self.err_codes.get(name, 0) + count
+        for key, count in other.values.items():
+            if key in self.values:
+                self.values[key] += count
+            elif len(self.values) < self.tracked_limit:
+                # dict order is first-seen order, matching serial admission
+                self.values[key] = count
+        # Invariant maintained by ``add``: tracked_count is the number of
+        # adds represented in the table.
+        self.tracked_count = sum(self.values.values())
+        mine = getattr(self, "summaries", None)
+        theirs = getattr(other, "summaries", None)
+        if mine is not None and theirs is not None:
+            mine.merge(theirs)
+        return self
+
+    def __getstate__(self):
+        # ``attach_summaries`` rebinds ``add`` to a closure on the
+        # instance; drop it so accumulators can cross process boundaries
+        # (the unpickled copy is only merged/reported, never fed).
+        state = dict(self.__dict__)
+        state.pop("add", None)
+        return state
+
     @property
     def total_count(self) -> int:
         return self.good + self.bad
@@ -234,6 +282,35 @@ class Accumulator:
                     self.elts.add(value, elt_pd)
         else:
             self.self_acc.add(rep, pd)
+
+    # -- merging ----------------------------------------------------------------
+
+    def merge(self, other: "Accumulator") -> "Accumulator":
+        """Combine another accumulator of the same shape into this one.
+
+        This is the reduce step of parallel accumulation: each worker
+        accumulates its chunk independently, then the per-chunk trees are
+        merged in chunk order.  See :meth:`ScalarAccum.merge` for the
+        exactness guarantees.
+        """
+        self.self_acc.merge(other.self_acc)
+        if self.lengths is not None and other.lengths is not None:
+            self.lengths.merge(other.lengths)
+        if self.elts is not None and other.elts is not None:
+            self.elts.merge(other.elts)
+        for name, child in self.children.items():
+            theirs = other.children.get(name)
+            if theirs is not None:
+                child.merge(theirs)
+        return self
+
+    def __getstate__(self):
+        # Type nodes may close over interpreter environments and are not
+        # picklable; a transferred accumulator only needs its counters
+        # (the receiving side merges it into a tree that kept its nodes).
+        state = dict(self.__dict__)
+        state["node"] = None
+        return state
 
     # -- reporting ----------------------------------------------------------------
 

@@ -130,11 +130,22 @@ def format_records(description, data, record_type: str, *,
                    mask: Optional[Mask] = None,
                    none_text: str = "",
                    custom: Optional[Dict[str, Formatter]] = None,
-                   skip_errors: bool = False):
+                   skip_errors: bool = False,
+                   jobs: int = 1):
     """The generated formatting *program* (paper: given just the record
-    type and a delimiter string).  Yields one formatted line per record."""
+    type and a delimiter string).  Yields one formatted line per record.
+
+    ``jobs > 1`` parses records through the parallel engine (order
+    preserved); formatting itself stays in the caller's process.
+    """
     node = description.node(record_type)
-    for rep, pd in description.records(data, record_type, mask):
+    if jobs and jobs > 1:
+        from ..parallel import parallel_records
+        stream = parallel_records(description, data, record_type, mask,
+                                  jobs=jobs)
+    else:
+        stream = description.records(data, record_type, mask)
+    for rep, pd in stream:
         if skip_errors and pd.nerr:
             continue
         yield format_value(node, rep, delims=delims, date_format=date_format,

@@ -17,6 +17,7 @@ one entry point::
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 from typing import Optional
 
@@ -54,6 +55,23 @@ def _read_data(args) -> bytes:
         return handle.read()
 
 
+def _data_input(args, d):
+    """The streaming input for a subcommand: stdin is slurped, but file
+    inputs go through ``Source.from_file`` so record-at-a-time tools keep
+    only one record resident regardless of file size."""
+    if args.data == "-":
+        return sys.stdin.buffer.read()
+    return d.open_file(args.data)
+
+
+def _parallel_file(args) -> Optional[pathlib.Path]:
+    """The input as a path when the subcommand should fan out to workers
+    (``--jobs N`` with a real file; stdin cannot be chunked)."""
+    if getattr(args, "jobs", 1) > 1 and args.data != "-":
+        return pathlib.Path(args.data)
+    return None
+
+
 def cmd_check(args) -> int:
     try:
         d = _load(args)
@@ -81,20 +99,26 @@ def cmd_compile(args) -> int:
 def cmd_accum(args) -> int:
     from .accum import Accumulator, accumulate_records
     d = _load(args)
-    data = _read_data(args)
-    if args.summaries:
+    path = _parallel_file(args)
+    if path is not None:
+        acc, header_acc, tally = d.accumulate_parallel(
+            path, args.record, jobs=args.jobs, tracked=args.track,
+            header_type=args.header, summaries=args.summaries)
+        count = tally.records
+    elif args.summaries:
         # Attach streaming histograms/quantiles before feeding records.
         from .summaries import attach_summaries
         acc = Accumulator(d.node(args.record), "<top>", args.track)
         attach_summaries(acc)
         header_acc = None
         count = 0
-        for rep, pd in d.records(data, args.record):
+        for rep, pd in d.records(_data_input(args, d), args.record):
             acc.add(rep, pd)
             count += 1
     else:
         acc, header_acc, count = accumulate_records(
-            d, data, args.record, header_type=args.header, tracked=args.track)
+            d, _data_input(args, d), args.record, header_type=args.header,
+            tracked=args.track)
     if header_acc is not None:
         print(header_acc.full_report(args.top))
         print()
@@ -113,10 +137,12 @@ def cmd_accum(args) -> int:
 def cmd_fmt(args) -> int:
     from .fmt import format_records
     d = _load(args)
-    data = _read_data(args)
+    path = _parallel_file(args)
+    data = path if path is not None else _data_input(args, d)
     for line in format_records(d, data, args.record, delims=list(args.delims),
                                date_format=args.date_format,
-                               skip_errors=args.skip_errors):
+                               skip_errors=args.skip_errors,
+                               jobs=args.jobs):
         print(line)
     return 0
 
@@ -124,9 +150,22 @@ def cmd_fmt(args) -> int:
 def cmd_xml(args) -> int:
     from .xml_out import xml_records
     d = _load(args)
-    data = _read_data(args)
-    for chunk in xml_records(d, data, args.record):
+    path = _parallel_file(args)
+    data = path if path is not None else _data_input(args, d)
+    for chunk in xml_records(d, data, args.record, jobs=args.jobs):
         print(chunk)
+    return 0
+
+
+def cmd_count(args) -> int:
+    """The paper's record-counting program (the Figure 10 floor task)."""
+    d = _load(args)
+    path = _parallel_file(args)
+    if path is not None:
+        count = d.count_records_parallel(path, jobs=args.jobs)
+    else:
+        count = d.count_records(_data_input(args, d))
+    print(count)
     return 0
 
 
@@ -144,7 +183,7 @@ def cmd_query(args) -> int:
     from .dataapi import node_new
     from .query import query, query_records
     d = _load(args)
-    data = _read_data(args)
+    data = _data_input(args, d)
     if args.record:
         # Streaming: one record resident at a time (bounded memory).
         results = query_records(d, data, args.record, args.expr)
@@ -191,9 +230,8 @@ def cmd_drift(args) -> int:
 def cmd_view(args) -> int:
     from .view import render_record
     d = _load(args)
-    data = _read_data(args)
-    # Skip to the requested record.
-    src = d.open(data)
+    # Skip to the requested record (streaming; only one record resident).
+    src = d.open(_data_input(args, d))
     for _ in range(args.index):
         if not src.begin_record():
             print(f"padsc: no record {args.index}", file=sys.stderr)
@@ -239,6 +277,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="user base-type specification file "
                             "(repeatable; paper Section 6)")
 
+    def jobs_flag(p):
+        p.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                       help="fan the input out to N worker processes, "
+                            "split at record boundaries (file inputs with "
+                            "a chunkable record discipline; otherwise "
+                            "falls back to the serial path)")
+
     p = sub.add_parser("check", help="parse and typecheck a description")
     common(p, data=False)
     p.set_defaults(fn=cmd_check)
@@ -260,6 +305,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--summaries", action="store_true",
                    help="attach streaming histogram/quantile summaries "
                         "(paper Section 9)")
+    jobs_flag(p)
     p.set_defaults(fn=cmd_accum)
 
     p = sub.add_parser("fmt", help="delimited formatting")
@@ -268,12 +314,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--delims", default="|")
     p.add_argument("--date-format", default=None)
     p.add_argument("--skip-errors", action="store_true")
+    jobs_flag(p)
     p.set_defaults(fn=cmd_fmt)
 
     p = sub.add_parser("xml", help="convert to canonical XML")
     common(p)
     p.add_argument("--record", required=True)
+    jobs_flag(p)
     p.set_defaults(fn=cmd_xml)
+
+    p = sub.add_parser("count", help="count records (the paper's "
+                                     "record-counting floor)")
+    common(p)
+    jobs_flag(p)
+    p.set_defaults(fn=cmd_count)
 
     p = sub.add_parser("xsd", help="emit the XML Schema")
     common(p, data=False)

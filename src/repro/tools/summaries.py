@@ -63,6 +63,26 @@ class StreamingHistogram:
         merged = ((c1 * n1 + c2 * n2) / (n1 + n2), n1 + n2)
         cs[i:i + 2] = [merged]
 
+    def add_weighted(self, center: float, count: int) -> None:
+        """Insert a pre-aggregated centroid (used when merging)."""
+        self.n += count
+        key = float(center)
+        idx = bisect.bisect_left(self._centroids, (key, 0))
+        if idx < len(self._centroids) and self._centroids[idx][0] == key:
+            existing_center, existing_count = self._centroids[idx]
+            self._centroids[idx] = (existing_center, existing_count + count)
+            return
+        self._centroids.insert(idx, (key, count))
+        if len(self._centroids) > self.max_bins:
+            self._merge_closest()
+
+    def merge(self, other: "StreamingHistogram") -> "StreamingHistogram":
+        """Fold another histogram in (Ben-Haim & Tom-Tov merge: re-insert
+        the other side's centroids with their weights)."""
+        for center, count in other._centroids:
+            self.add_weighted(center, count)
+        return self
+
     def counts(self) -> List[Tuple[float, int]]:
         return list(self._centroids)
 
@@ -145,6 +165,26 @@ class QuantileSketch:
                 return value
         return self._tuples[-1][0]
 
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Standard GK merge: interleave the tuple lists by value, bumping
+        each side's rank uncertainty by the other side's bound.  The
+        merged sketch answers queries within ``eps_self + eps_other`` of
+        the true rank (the known bound for merging GK summaries)."""
+        if other.n == 0:
+            return self
+        err_other = math.floor(2 * other.eps * other.n)
+        err_self = math.floor(2 * self.eps * self.n)
+        combined = ([[v, g, d + err_other] for v, g, d in self._tuples]
+                    + [[v, g, d + err_self] for v, g, d in other._tuples])
+        combined.sort(key=lambda t: t[0])
+        # The extreme tuples are exact by construction.
+        combined[0][2] = 0
+        combined[-1][2] = 0
+        self._tuples = combined
+        self.n += other.n
+        self._compress()
+        return self
+
     def space(self) -> int:
         return len(self._tuples)
 
@@ -173,6 +213,28 @@ class ReservoirSample:
             if j < self.k:
                 self.sample[j] = value
 
+    def merge(self, other: "ReservoirSample") -> "ReservoirSample":
+        """Combine two reservoirs into an (approximately) uniform sample
+        of the concatenated streams: each output slot draws from one of
+        the reservoirs with probability proportional to its stream size."""
+        if other.n == 0:
+            return self
+        if self.n == 0:
+            self.sample = list(other.sample)
+            self.n = other.n
+            return self
+        total = self.n + other.n
+        mine, theirs = list(self.sample), list(other.sample)
+        merged: List = []
+        while len(merged) < self.k and (mine or theirs):
+            take_mine = mine and (not theirs
+                                  or self.rng.random() < self.n / total)
+            pool = mine if take_mine else theirs
+            merged.append(pool.pop(self.rng.randrange(len(pool))))
+        self.sample = merged
+        self.n = total
+        return self
+
 
 class NumericSummaries:
     """The bundle attached to a numeric accumulator position."""
@@ -186,6 +248,12 @@ class NumericSummaries:
         self.histogram.add(value)
         self.quantiles.add(value)
         self.sample.add(value)
+
+    def merge(self, other: "NumericSummaries") -> "NumericSummaries":
+        self.histogram.merge(other.histogram)
+        self.quantiles.merge(other.quantiles)
+        self.sample.merge(other.sample)
+        return self
 
     def report(self) -> str:
         return (self.quantiles.report() + "\n" + self.histogram.render())

@@ -149,11 +149,18 @@ def _default_tag(node: PType) -> str:
 
 
 def xml_records(description, data, record_type: str, mask=None,
-                root: str = "source"):
+                root: str = "source", jobs: int = 1):
     """Convert a whole source to XML, one element per record (the
-    generated conversion program of Section 5.3.2)."""
+    generated conversion program of Section 5.3.2).  ``jobs > 1`` parses
+    through the parallel engine, order preserved."""
     yield f"<{root}>"
     node = description.node(record_type)
-    for rep, pd in description.records(data, record_type, mask):
+    if jobs and jobs > 1:
+        from ..parallel import parallel_records
+        stream = parallel_records(description, data, record_type, mask,
+                                  jobs=jobs)
+    else:
+        stream = description.records(data, record_type, mask)
+    for rep, pd in stream:
         yield to_xml(node, rep, pd, record_type, indent=1)
     yield f"</{root}>"

@@ -1,0 +1,202 @@
+"""Property tests: merging accumulators built over any split of a record
+stream equals accumulating the whole stream.
+
+This is the algebraic property the parallel engine rests on — reduce by
+:meth:`merge` must be a homomorphism from record streams to accumulator
+state.  Counts, numeric stats and error histograms are exact under any
+split; the top-K value table is exact while distinct values fit in the
+tracked limit, and a documented lower bound under overflow.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import gallery
+from repro.core.errors import ErrCode, ErrorTally, Pd
+from repro.tools.accum import Accumulator, ScalarAccum
+from repro.tools.datagen import clf_workload
+from repro.tools.summaries import NumericSummaries
+
+
+def bad_pd(code=ErrCode.INVALID_INT):
+    pd = Pd()
+    pd.nerr = 1
+    pd.err_code = code
+    return pd
+
+
+# An event is (value, pd-or-None); None means a clean parse.
+events = st.lists(
+    st.tuples(
+        st.one_of(st.integers(-50, 50), st.sampled_from("abcde")),
+        st.sampled_from([None, "syntax", "semantic"]),
+    ),
+    max_size=60,
+)
+
+
+def feed(acc: ScalarAccum, part) -> None:
+    for value, err in part:
+        if err is None:
+            acc.add(value, None)
+        else:
+            code = ErrCode.INVALID_INT if err == "syntax" else ErrCode.USER_CONSTRAINT_VIOLATION
+            acc.add(value, bad_pd(code))
+
+
+def scalar_state(acc: ScalarAccum):
+    return (acc.good, acc.bad, acc.min, acc.max,
+            pytest.approx(acc.total), acc.err_codes,
+            acc.values, acc.tracked_count)
+
+
+class TestScalarMerge:
+    @given(events, st.data())
+    def test_any_split_equals_whole(self, evts, data):
+        cut = data.draw(st.integers(0, len(evts)))
+        whole = ScalarAccum("string")
+        feed(whole, evts)
+        left, right = ScalarAccum("string"), ScalarAccum("string")
+        feed(left, evts[:cut])
+        feed(right, evts[cut:])
+        left.merge(right)
+        assert scalar_state(left) == scalar_state(whole)
+
+    @given(events, st.integers(2, 5))
+    def test_many_way_split_equals_whole(self, evts, k):
+        whole = ScalarAccum("string")
+        feed(whole, evts)
+        merged = ScalarAccum("string")
+        for i in range(k):
+            part = ScalarAccum("string")
+            feed(part, evts[i::k])
+            merged.merge(part)
+        # Interleaved parts change first-seen order, so compare the value
+        # table as a multiset rather than an ordered dict.
+        assert (merged.good, merged.bad, merged.min, merged.max) == \
+            (whole.good, whole.bad, whole.min, whole.max)
+        assert merged.total == pytest.approx(whole.total)
+        assert merged.err_codes == whole.err_codes
+        assert dict(merged.values) == dict(whole.values)
+
+    @given(events, st.data())
+    def test_overflow_is_a_lower_bound(self, evts, data):
+        cut = data.draw(st.integers(0, len(evts)))
+        whole = ScalarAccum("string", tracked=3)
+        feed(whole, evts)
+        left, right = ScalarAccum("string", tracked=3), \
+            ScalarAccum("string", tracked=3)
+        feed(left, evts[:cut])
+        feed(right, evts[cut:])
+        left.merge(right)
+        # Counts stay exact even when the table overflows.
+        assert (left.good, left.bad) == (whole.good, whole.bad)
+        assert len(left.values) <= 3
+        # Every tracked count is a lower bound on the true occurrence count.
+        true_counts = {}
+        for value, err in evts:
+            if err is None:
+                true_counts[value] = true_counts.get(value, 0) + 1
+        for key, count in left.values.items():
+            assert count <= true_counts[key]
+
+    def test_merge_returns_self(self):
+        a, b = ScalarAccum("int"), ScalarAccum("int")
+        a.add(1, None)
+        b.add(2, None)
+        assert a.merge(b) is a
+        assert a.good == 2 and a.min == 1 and a.max == 2
+
+
+class TestErrorTallyMerge:
+    @given(st.lists(st.sampled_from([None, ErrCode.INVALID_INT,
+                                     ErrCode.USER_CONSTRAINT_VIOLATION]), max_size=40),
+           st.data())
+    def test_any_split_equals_whole(self, codes, data):
+        cut = data.draw(st.integers(0, len(codes)))
+        pds = [Pd() if c is None else bad_pd(c) for c in codes]
+        whole = ErrorTally()
+        for pd in pds:
+            whole.add(pd)
+        left, right = ErrorTally(), ErrorTally()
+        for pd in pds[:cut]:
+            left.add(pd)
+        for pd in pds[cut:]:
+            right.add(pd)
+        left.merge(right)
+        assert left.records == whole.records
+        assert left.bad_records == whole.bad_records
+        assert left.good_records == whole.good_records
+        assert left.total_errors == whole.total_errors
+        assert left.by_code == whole.by_code
+        assert left.first_error_code == whole.first_error_code
+
+
+# -- whole-tree merges over real parsed records --------------------------------
+
+
+@pytest.fixture(scope="module")
+def clf_parsed():
+    desc = gallery.load_clf()
+    data = clf_workload(250, random.Random(20050612))
+    node = desc.node("entry_t")
+    return node, list(desc.records(data, "entry_t"))
+
+
+class TestAccumulatorTreeMerge:
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_any_split_report_identical(self, clf_parsed, data):
+        node, pairs = clf_parsed
+        cut = data.draw(st.integers(0, len(pairs)))
+        whole = Accumulator(node, "<top>")
+        for rep, pd in pairs:
+            whole.add(rep, pd)
+        left = Accumulator(node, "<top>")
+        right = Accumulator(node, "<top>")
+        for rep, pd in pairs[:cut]:
+            left.add(rep, pd)
+        for rep, pd in pairs[cut:]:
+            right.add(rep, pd)
+        left.merge(right)
+        assert left.full_report() == whole.full_report()
+
+    def test_three_way_chunk_merge(self, clf_parsed):
+        node, pairs = clf_parsed
+        whole = Accumulator(node, "<top>")
+        for rep, pd in pairs:
+            whole.add(rep, pd)
+        merged = Accumulator(node, "<top>")
+        third = len(pairs) // 3
+        for lo, hi in ((0, third), (third, 2 * third), (2 * third, len(pairs))):
+            part = Accumulator(node, "<top>")
+            for rep, pd in pairs[lo:hi]:
+                part.add(rep, pd)
+            merged.merge(part)
+        assert merged.full_report() == whole.full_report()
+
+
+class TestNumericSummariesMerge:
+    @given(st.lists(st.floats(-1e6, 1e6), max_size=80), st.data())
+    def test_split_merge_counts(self, xs, data):
+        cut = data.draw(st.integers(0, len(xs)))
+        whole = NumericSummaries()
+        for x in xs:
+            whole.add(x)
+        left, right = NumericSummaries(), NumericSummaries()
+        for x in xs[:cut]:
+            left.add(x)
+        for x in xs[cut:]:
+            right.add(x)
+        left.merge(right)
+        assert left.quantiles.n == whole.quantiles.n
+        assert left.histogram.n == whole.histogram.n
+        assert left.sample.n == whole.sample.n
+        assert len(left.sample.sample) == len(whole.sample.sample)
+        if xs:
+            lo, hi = min(xs), max(xs)
+            for q in (0.25, 0.5, 0.75):
+                assert lo <= left.quantiles.query(q) <= hi
+            assert all(lo <= v <= hi for v in left.sample.sample)

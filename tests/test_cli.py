@@ -107,3 +107,48 @@ class TestDataTools:
         assert main(["cobol", str(cpy)]) == 0
         out = capsys.readouterr().out
         assert "Precord Pstruct billing_record_t" in out
+
+
+class TestCountAndJobs:
+    @pytest.fixture
+    def big_log(self, tmp_path):
+        import random
+        from repro.tools.datagen import clf_workload
+        path = tmp_path / "big.log"
+        path.write_bytes(clf_workload(2500, random.Random(20050612)))
+        return str(path)
+
+    def test_count(self, clf_file, clf_data, capsys):
+        assert main(["count", clf_file, clf_data]) == 0
+        assert capsys.readouterr().out.strip() == "2"
+
+    def test_count_parallel_matches_serial(self, clf_file, big_log, capsys):
+        assert main(["count", clf_file, big_log]) == 0
+        serial = capsys.readouterr().out
+        assert main(["count", clf_file, big_log, "-j", "2"]) == 0
+        assert capsys.readouterr().out == serial
+        assert serial.strip() == "2500"
+
+    def test_accum_parallel_matches_serial(self, clf_file, big_log, capsys):
+        argv = ["accum", clf_file, big_log, "--record", "entry_t"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_fmt_parallel_matches_serial(self, clf_file, big_log, capsys):
+        argv = ["fmt", clf_file, big_log, "--record", "entry_t",
+                "--delims", "|"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["-j", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_jobs_on_stdin_falls_back(self, clf_file, clf_data, capsys,
+                                      monkeypatch):
+        import io as _io
+        data = open(clf_data, "rb").read()
+        monkeypatch.setattr("sys.stdin",
+                            type("S", (), {"buffer": _io.BytesIO(data)})())
+        assert main(["count", clf_file, "-", "-j", "4"]) == 0
+        assert capsys.readouterr().out.strip() == "2"

@@ -221,3 +221,69 @@ def test_newline_records_roundtrip(payloads):
         out.append(src.record_bytes())
         src.end_record()
     assert out == payloads
+
+
+class TestWindowedSource:
+    """Sources opened at an aligned offset (the parallel engine's chunks)."""
+
+    DATA = b"aa\nbbb\ncccc\nddddd\n"
+
+    def test_bytes_window_reports_absolute_offsets(self):
+        # Window starting at the 'bbb' record: positions stay absolute.
+        src = Source(self.DATA[3:], discipline=NewlineRecords(), start=3)
+        assert src.pos == 3
+        assert src.begin_record()
+        assert src.record_bytes() == b"bbb"
+
+    def test_file_window(self, tmp_path):
+        path = tmp_path / "w.dat"
+        path.write_bytes(self.DATA)
+        src = Source.from_file(str(path), NewlineRecords(), start=3, end=12)
+        records = []
+        with src:
+            while src.begin_record():
+                records.append(src.record_bytes())
+                src.end_record()
+        assert records == [b"bbb", b"cccc"]
+
+    def test_window_end_is_eof(self, tmp_path):
+        path = tmp_path / "w.dat"
+        path.write_bytes(self.DATA)
+        src = Source.from_file(str(path), NewlineRecords(), start=0, end=7)
+        with src:
+            src.begin_record()
+            src.end_record()
+            src.begin_record()
+            assert src.record_bytes() == b"bbb"
+            src.end_record()
+            assert not src.begin_record()
+
+    def test_windows_tile_to_whole_stream(self, tmp_path):
+        path = tmp_path / "w.dat"
+        path.write_bytes(self.DATA)
+        whole = []
+        with Source.from_file(str(path), NewlineRecords()) as src:
+            while src.begin_record():
+                whole.append(src.record_bytes())
+                src.end_record()
+        split = []
+        for start, end in ((0, 7), (7, len(self.DATA))):
+            with Source.from_file(str(path), NewlineRecords(),
+                                  start=start, end=end) as src:
+                while src.begin_record():
+                    split.append(src.record_bytes())
+                    src.end_record()
+        assert split == whole
+
+
+class TestFromStringEncoding:
+    def test_latin1_is_byte_transparent(self):
+        # Every code point 0-255 maps to the identical byte value.
+        text = "".join(chr(i) for i in range(256))
+        src = Source.from_string(text)
+        assert src.take_rest() == bytes(range(256))
+
+    def test_non_ascii_text(self):
+        src = Source.from_string("café\n", NewlineRecords())
+        src.begin_record()
+        assert src.record_bytes() == b"caf\xe9"

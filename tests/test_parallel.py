@@ -1,0 +1,289 @@
+"""Tests for the chunked map-reduce engine (repro.parallel).
+
+Every parallel entry point must be observationally equivalent to its
+serial twin, and must fall back to the serial path — without touching a
+worker pool — whenever splitting is impossible.
+"""
+
+import io
+import pathlib
+import random
+
+import pytest
+
+from repro import gallery, parallel
+from repro.codegen import compile_generated
+from repro.core.io import (
+    FixedWidthRecords,
+    NewlineRecords,
+    NoRecords,
+    Source,
+    plan_chunks,
+    plan_file_chunks,
+)
+from repro.tools.accum import accumulate_records
+from repro.tools.datagen import clf_workload, sirius_workload
+
+JOBS = 2  # keep pools small; correctness, not throughput, is under test
+
+
+# -- chunk planning ------------------------------------------------------------
+
+
+class TestPlanChunks:
+    def plan(self, data: bytes, n, disc=None, min_chunk=8, start=0):
+        return plan_chunks(io.BytesIO(data), len(data), disc or NewlineRecords(),
+                           n, min_chunk=min_chunk, start=start)
+
+    def test_tiles_input_exactly(self):
+        data = b"".join(b"rec%04d\n" % i for i in range(64))
+        chunks = self.plan(data, 4)
+        assert chunks[0][0] == 0 and chunks[-1][1] == len(data)
+        for (_, e1), (s2, _) in zip(chunks, chunks[1:]):
+            assert e1 == s2
+
+    def test_cuts_land_on_record_boundaries(self):
+        data = b"".join(b"rec%04d\n" % i for i in range(64))
+        chunks = self.plan(data, 4)
+        assert len(chunks) > 1
+        for s, _ in chunks[1:]:
+            assert data[s - 1:s] == b"\n"
+
+    def test_small_input_declines(self):
+        assert self.plan(b"a\nb\n", 4, min_chunk=1 << 16) is None
+
+    def test_single_job_declines(self):
+        data = b"x\n" * 100
+        assert self.plan(data, 1) is None
+
+    def test_unchunkable_discipline_declines(self):
+        data = b"x" * 4096
+        assert self.plan(data, 4, disc=NoRecords()) is None
+
+    def test_one_giant_record_declines(self):
+        # No interior newline: every cut aligns to EOF, <2 chunks remain.
+        data = b"x" * 4096 + b"\n"
+        assert self.plan(data, 4) is None
+
+    def test_fixed_width_cuts_are_multiples(self):
+        data = b"ABCDEFGH" * 64
+        chunks = self.plan(data, 4, disc=FixedWidthRecords(8))
+        for s, _ in chunks:
+            assert s % 8 == 0
+
+    def test_fixed_width_respects_origin_after_header(self):
+        # 3-byte header, then 8-byte records: cuts must align to the
+        # record grid (start + k*8), not to multiples of 8.
+        header = b"HDR"
+        data = header + b"ABCDEFGH" * 64
+        chunks = self.plan(data, 4, disc=FixedWidthRecords(8), start=3)
+        assert chunks[0][0] == 3
+        for s, _ in chunks:
+            assert (s - 3) % 8 == 0
+
+    def test_start_after_header_line(self):
+        data = b"header\n" + b"body\n" * 200
+        chunks = self.plan(data, 4, start=7)
+        assert chunks[0][0] == 7 and chunks[-1][1] == len(data)
+        for s, _ in chunks[1:]:
+            assert data[s - 1:s] == b"\n"
+
+    def test_plan_file_chunks(self, tmp_path):
+        path = tmp_path / "data.log"
+        path.write_bytes(b"line\n" * 1000)
+        chunks = plan_file_chunks(str(path), NewlineRecords(), 4, min_chunk=64)
+        assert chunks[0][0] == 0 and chunks[-1][1] == 5000
+        for s, _ in chunks[1:]:
+            assert s % 5 == 0  # every record is 5 bytes
+
+    def test_chunked_records_equal_whole(self):
+        rng = random.Random(7)
+        data = b"".join(bytes(rng.choices(b"abc", k=rng.randrange(12))) + b"\n"
+                        for _ in range(300))
+        whole = self._records(Source.from_bytes(data, NewlineRecords()))
+        for n in (2, 3, 5, 8):
+            chunks = self.plan(data, n, min_chunk=4)
+            if chunks is None:
+                continue
+            split = []
+            for s, e in chunks:
+                split += self._records(Source(data[s:e], start=s,
+                                              discipline=NewlineRecords()))
+            assert split == whole
+
+    @staticmethod
+    def _records(src):
+        out = []
+        with src:
+            while src.begin_record():
+                out.append(src.record_bytes())
+                src.end_record()
+        return out
+
+
+# -- the parallel entry points -------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def clf_data() -> bytes:
+    return clf_workload(1500, random.Random(20050612))
+
+
+@pytest.fixture(scope="module")
+def clf_file(clf_data, tmp_path_factory) -> pathlib.Path:
+    path = tmp_path_factory.mktemp("parallel") / "clf.log"
+    path.write_bytes(clf_data)
+    return path
+
+
+@pytest.fixture(scope="module", params=["interp", "generated"])
+def clf_desc(request):
+    if request.param == "interp":
+        return gallery.load_clf()
+    return compile_generated(gallery.CLF)
+
+
+def small_chunks(monkeypatch):
+    """Shrink the minimum chunk so 1500-record test inputs split."""
+    monkeypatch.setattr(parallel, "plan_chunks",
+                        lambda h, size, d, n, start=0:
+                        plan_chunks(h, size, d, n, min_chunk=1 << 12,
+                                    start=start))
+
+
+class TestParallelEquivalence:
+    @pytest.fixture(autouse=True)
+    def _small_chunks(self, monkeypatch):
+        small_chunks(monkeypatch)
+
+    def test_count(self, clf_desc, clf_data, clf_file):
+        serial = clf_desc.count_records(clf_data)
+        assert parallel.parallel_count(clf_desc, clf_data, jobs=JOBS) == serial
+        assert parallel.parallel_count(clf_desc, clf_file, jobs=JOBS) == serial
+        assert clf_desc.count_records_parallel(clf_data, jobs=JOBS) == serial
+
+    def test_records_order_and_parity(self, clf_desc, clf_data):
+        serial = list(clf_desc.records(clf_data, "entry_t"))
+        par = list(parallel.parallel_records(clf_desc, clf_data, "entry_t",
+                                             jobs=JOBS))
+        assert len(par) == len(serial)
+        for (s_rep, s_pd), (p_rep, p_pd) in zip(serial, par):
+            assert p_pd.nerr == s_pd.nerr
+            assert p_pd.loc == s_pd.loc  # absolute offsets AND record index
+            assert p_rep.client.tag == s_rep.client.tag
+            assert str(p_rep.remoteID) == str(s_rep.remoteID)
+
+    def test_records_from_file(self, clf_desc, clf_data, clf_file):
+        serial = [pd.nerr for _, pd in clf_desc.records(clf_data, "entry_t")]
+        par = [pd.nerr for _, pd in
+               clf_desc.records_parallel(clf_file, "entry_t", jobs=JOBS)]
+        assert par == serial
+
+    def test_tally(self, clf_desc, clf_data, clf_file):
+        serial = parallel.tally_records(clf_desc, clf_data, "entry_t")
+        for data in (clf_data, clf_file):
+            par = parallel.parallel_tally(clf_desc, data, "entry_t", jobs=JOBS)
+            assert par.records == serial.records
+            assert par.bad_records == serial.bad_records
+            assert par.total_errors == serial.total_errors
+            assert par.by_code == serial.by_code
+            assert par.first_error_code == serial.first_error_code
+            assert par.first_error_loc == serial.first_error_loc
+
+    def test_accumulate(self, clf_desc, clf_data, clf_file):
+        serial_acc, _hdr, n = accumulate_records(clf_desc, clf_data, "entry_t")
+        for data in (clf_data, clf_file):
+            acc, header, tally = parallel.parallel_accumulate(
+                clf_desc, data, "entry_t", jobs=JOBS)
+            assert header is None
+            assert tally.records == n
+            assert acc.full_report() == serial_acc.full_report()
+
+    def test_accumulate_with_header(self):
+        desc = gallery.load_sirius()
+        data = sirius_workload(1500, random.Random(20050612))
+        serial_acc, serial_hdr, n = accumulate_records(
+            desc, data, "entry_t", header_type="summary_header_t")
+        acc, header, tally = parallel.parallel_accumulate(
+            desc, data, "entry_t", jobs=JOBS, header_type="summary_header_t")
+        assert header is not None
+        assert header.full_report() == serial_hdr.full_report()
+        assert tally.records == n
+        assert acc.full_report() == serial_acc.full_report()
+
+
+# -- serial fallback -----------------------------------------------------------
+
+
+class TestSerialFallback:
+    @pytest.fixture(autouse=True)
+    def _no_pool(self, monkeypatch):
+        # The fallback path must never touch a worker pool.
+        monkeypatch.setattr(parallel, "_pool", self._boom)
+        monkeypatch.setattr(parallel, "plan_chunks",
+                            lambda h, size, d, n, start=0:
+                            plan_chunks(h, size, d, n, min_chunk=1 << 12,
+                                        start=start))
+
+    @staticmethod
+    def _boom(jobs):  # pragma: no cover - only reached on failure
+        raise AssertionError("serial fallback reached the worker pool")
+
+    def test_jobs_one_is_serial(self, clf_desc, clf_data):
+        assert parallel._plan_windows(clf_desc, clf_data, 1) is None
+        n = parallel.parallel_count(clf_desc, clf_data, jobs=1)
+        assert n == clf_desc.count_records(clf_data)
+
+    def test_unchunkable_discipline_is_serial(self):
+        desc = gallery.load_netflow()  # NoRecords: one packed binary blob
+        assert not desc.discipline.chunkable
+        data = bytes(20) * 400
+        assert parallel._plan_windows(desc, data, JOBS) is None
+
+    def test_small_input_is_serial(self, clf_desc):
+        data = clf_workload(5, random.Random(1))
+        assert parallel._plan_windows(clf_desc, data, JOBS) is None
+        tally = parallel.parallel_tally(clf_desc, data, "entry_t", jobs=JOBS)
+        assert tally.records == 5
+
+    def test_open_source_is_serial(self, clf_desc, clf_data):
+        src = clf_desc.open(clf_data)
+        assert parallel._plan_windows(clf_desc, src, JOBS) is None
+        assert parallel.parallel_count(clf_desc, src, jobs=JOBS) == \
+            clf_desc.count_records(clf_data)
+
+    def test_specless_description_is_serial(self, clf_desc, clf_data,
+                                            monkeypatch):
+        monkeypatch.setattr(parallel, "_spec_for", lambda d: None)
+        pairs = list(parallel.parallel_records(clf_desc, clf_data, "entry_t",
+                                               jobs=JOBS))
+        assert len(pairs) == clf_desc.count_records(clf_data)
+
+
+# -- spec plumbing -------------------------------------------------------------
+
+
+class TestDescSpec:
+    def test_interp_spec_roundtrip(self):
+        desc = gallery.load_clf()
+        spec = parallel._spec_for(desc)
+        assert spec.engine == "interp"
+        rebuilt = parallel._materialise(spec)
+        assert rebuilt.count_records(b"") == 0
+
+    def test_generated_spec(self):
+        desc = compile_generated(gallery.CLF)
+        spec = parallel._spec_for(desc)
+        assert spec.engine == "generated"
+
+    def test_spec_is_picklable(self):
+        import pickle
+        spec = parallel._spec_for(gallery.load_sirius())
+        assert pickle.loads(pickle.dumps(spec)).key() == spec.key()
+
+    def test_seeding_avoids_recompilation(self):
+        desc = gallery.load_clf()
+        spec = parallel._spec_for(desc)
+        parallel._COMPILED.pop(spec.key(), None)
+        parallel._seed(desc, spec)
+        assert parallel._materialise(spec) is desc
