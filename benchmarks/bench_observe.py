@@ -1,0 +1,75 @@
+"""Observability overhead: untraced vs metered vs traced throughput.
+
+The observability layer's contract is a near-free disabled path: the
+record loops check one module global per record, and the per-field trace
+hooks cost one hoisted local test each.  This bench quantifies the three
+states on the Sirius record stream:
+
+* **baseline** — no observer installed (the production default),
+* **metered**  — ``observe.observed()``: counters + histograms per record,
+* **traced**   — ``observe.observed(trace=True)``: per-field enter/exit
+  events on the interpreter, record events on the generated engine.
+
+Correctness is asserted inside every benchmark: enabling observation must
+not change the records parsed.  Run with ``pytest benchmarks/bench_observe.py
+--benchmark-only``; CI uploads the results as ``BENCH_observe.json``.
+"""
+
+import pytest
+
+from repro import observe
+
+from .conftest import N_RECORDS
+
+
+def _drain(description, data):
+    n = 0
+    for _rep, _pd in description.records(data, "entry_t"):
+        n += 1
+    return n
+
+
+@pytest.mark.benchmark(group="observe-generated")
+def test_generated_baseline(benchmark, sirius_gen, sirius_body):
+    assert observe.CURRENT is None
+    assert benchmark(_drain, sirius_gen, sirius_body) == N_RECORDS
+
+
+@pytest.mark.benchmark(group="observe-generated")
+def test_generated_metered(benchmark, sirius_gen, sirius_body):
+    def run():
+        with observe.observed() as obs:
+            n = _drain(sirius_gen, sirius_body)
+        return n, obs.metrics.value("records.total")
+
+    n, total = benchmark(run)
+    assert n == N_RECORDS and total == N_RECORDS
+
+
+@pytest.mark.benchmark(group="observe-generated")
+def test_generated_traced(benchmark, sirius_gen, sirius_body):
+    def run():
+        # Bounded buffer: tracing cost, not list-growth cost.
+        with observe.observed(trace=True, max_events=10_000) as obs:
+            n = _drain(sirius_gen, sirius_body)
+        return n, len(obs.tracer.events) + obs.tracer.dropped
+
+    n, events = benchmark(run)
+    assert n == N_RECORDS and events == N_RECORDS
+
+
+@pytest.mark.benchmark(group="observe-interpreter")
+def test_interpreter_baseline(benchmark, sirius_interp, sirius_body):
+    assert observe.CURRENT is None
+    assert benchmark(_drain, sirius_interp, sirius_body) == N_RECORDS
+
+
+@pytest.mark.benchmark(group="observe-interpreter")
+def test_interpreter_traced(benchmark, sirius_interp, sirius_body):
+    def run():
+        with observe.observed(trace=True, max_events=10_000) as obs:
+            n = _drain(sirius_interp, sirius_body)
+        return n, obs.tracer.dropped
+
+    n, dropped = benchmark(run)
+    assert n == N_RECORDS and dropped > 0  # per-field events overflow 10k

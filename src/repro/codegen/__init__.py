@@ -19,8 +19,10 @@ interpreted :class:`~repro.core.api.CompiledDescription`.
 from __future__ import annotations
 
 import types as _types
+from time import perf_counter
 from typing import Iterator, Optional, Tuple
 
+from .. import observe
 from ..core.errors import ErrCode, PadsError, Pd
 from ..core.io import RecordDiscipline, Source
 from ..core.masks import Mask, P_CheckAndSet
@@ -120,7 +122,15 @@ class GeneratedDescription:
             type_name, mask = None, type_name
         gen = self._gen(type_name)
         src = self.open(data)
-        return gen.parse(src, mask or Mask(P_CheckAndSet), *params)
+        obs = observe.CURRENT
+        if obs is None:
+            return gen.parse(src, mask or Mask(P_CheckAndSet), *params)
+        start, t0 = src.pos, perf_counter()
+        rep, pd = gen.parse(src, mask or Mask(P_CheckAndSet), *params)
+        obs.record_parsed(type_name or self.source_type, pd, src.pos - start,
+                          perf_counter() - t0, start=start,
+                          record=src.record_idx)
+        return rep, pd
 
     def parse_source(self, data, mask: Optional[Mask] = None):
         return self.parse(data, None, mask)
@@ -130,7 +140,26 @@ class GeneratedDescription:
         gen = self._gen(type_name)
         src = self.open(data)
         use_mask = mask or Mask(P_CheckAndSet)
+        # One global load decides between the plain loop and the metered
+        # one, keeping the disabled path free of per-record bookkeeping.
+        obs = observe.CURRENT
+        if obs is None:
+            while not src.at_eof():
+                if gen.is_record:
+                    rep, pd = gen.parse(src, use_mask)
+                    if pd.err_code == ErrCode.AT_EOF:
+                        return
+                else:
+                    if not src.begin_record():
+                        return
+                    rep, pd = gen.parse(src, use_mask)
+                    if not src.at_eor() and (use_mask.bits & 2) and pd.nerr == 0:
+                        pd.record_error(ErrCode.EXTRA_DATA_AT_EOR, src.here())
+                    src.end_record()
+                yield rep, pd
+            return
         while not src.at_eof():
+            start, t0 = src.pos, perf_counter()
             if gen.is_record:
                 rep, pd = gen.parse(src, use_mask)
                 if pd.err_code == ErrCode.AT_EOF:
@@ -142,6 +171,9 @@ class GeneratedDescription:
                 if not src.at_eor() and (use_mask.bits & 2) and pd.nerr == 0:
                     pd.record_error(ErrCode.EXTRA_DATA_AT_EOR, src.here())
                 src.end_record()
+            obs.record_parsed(type_name, pd, src.pos - start,
+                              perf_counter() - t0, start=start,
+                              record=src.record_idx)
             yield rep, pd
 
     def count_records(self, data) -> int:

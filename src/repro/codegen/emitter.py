@@ -1173,7 +1173,11 @@ class Emitter:
             w.w("from repro.tools.fmt import format_value")
             w.w(f"text = format_value(_interp().node({name!r}), rep, "
                 "delims=delims, date_format=date_format, mask=mask)")
-            w.w("io.write(text.encode('utf-8'))")
+            # Not a plain utf-8 encode: the runtime is byte-transparent
+            # (bytes 0-255 <-> code points) and utf-8 would double-encode
+            # byte-string fields above 127.
+            w.w("from repro.core.io import transparent_encode")
+            w.w("io.write(transparent_encode(text))")
             w.w("return len(text)")
         w.w()
         with w.block(f"def {name}_write_xml_2io(io, rep, pd=None, "
@@ -1181,7 +1185,8 @@ class Emitter:
             w.w('"""Canonical XML output (Figure 6: <type>_write_xml_2io)."""')
             w.w("from repro.tools.xml_out import to_xml")
             w.w(f"text = to_xml(_interp().node({name!r}), rep, pd, tag, indent)")
-            w.w("io.write(text.encode('utf-8'))")
+            w.w("from repro.core.io import transparent_encode")
+            w.w("io.write(transparent_encode(text))")
             w.w("return len(text)")
         w.w()
         with w.block(f"def {name}_acc_init(tracked=1000):"):

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from .. import observe
 from ..core.errors import ErrCode, Pd, Pstate
 from ..core.io import Source
 from ..core.types import MAX_RESYNC_SCAN
@@ -22,6 +23,7 @@ def lit_resync(src: Source, pd: Pd, raw: bytes, start: int) -> bool:
     """
     at = src.scan_for(raw, MAX_RESYNC_SCAN)
     if at >= 0:
+        observe.count("resync.literal")
         pd.record_error(ErrCode.MISSING_LITERAL, src.loc_from(start))
         src.pos = at + len(raw)
         return True
@@ -34,6 +36,7 @@ def skip_to_literal(src: Source, raw: bytes) -> bool:
     """Field-error recovery: skip garbage up to (and past) ``raw``."""
     at = src.scan_for(raw, MAX_RESYNC_SCAN)
     if at >= 0:
+        observe.count("resync.field_skip")
         src.pos = at + len(raw)
         return True
     return False
@@ -51,6 +54,7 @@ def array_resync(src: Source, sep: Optional[bytes], term: Optional[bytes]) -> bo
         if at >= 0:
             candidates.append(at)
     if candidates:
+        observe.count("resync.array")
         src.pos = min(candidates)
         return True
     if src.in_record:

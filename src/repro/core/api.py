@@ -16,8 +16,10 @@ verification and random data generation.
 from __future__ import annotations
 
 import random
+from time import perf_counter
 from typing import Iterator, Optional, Tuple, Union
 
+from .. import observe
 from ..dsl import ast as D
 from ..dsl.parser import parse_description
 from ..dsl.typecheck import check_description
@@ -89,7 +91,15 @@ class CompiledDescription:
             type_name, mask = None, type_name
         src = self.open(data)
         node = self.node(type_name)
-        return node.parse(src, mask or Mask(P_CheckAndSet), self.env)
+        obs = observe.CURRENT
+        if obs is None:
+            return node.parse(src, mask or Mask(P_CheckAndSet), self.env)
+        start, t0 = src.pos, perf_counter()
+        rep, pd = node.parse(src, mask or Mask(P_CheckAndSet), self.env)
+        obs.record_parsed(type_name or self.source_type, pd, src.pos - start,
+                          perf_counter() - t0, start=start,
+                          record=src.record_idx)
+        return rep, pd
 
     def parse_source(self, data: Data, mask: Optional[Mask] = None):
         return self.parse(data, None, mask)
@@ -107,10 +117,24 @@ class CompiledDescription:
         node = self.node(type_name)
         use_mask = mask or Mask(P_CheckAndSet)
         wrapped = node if isinstance(node, RecordNode) else RecordNode(node)
+        # One global load decides between the plain loop and the metered
+        # one, keeping the disabled path free of per-record bookkeeping.
+        obs = observe.CURRENT
+        if obs is None:
+            while not src.at_eof():
+                rep, pd = wrapped.parse(src, use_mask, self.env)
+                if pd.err_code == ErrCode.AT_EOF:
+                    return
+                yield rep, pd
+            return
         while not src.at_eof():
+            start, t0 = src.pos, perf_counter()
             rep, pd = wrapped.parse(src, use_mask, self.env)
             if pd.err_code == ErrCode.AT_EOF:
                 return
+            obs.record_parsed(type_name, pd, src.pos - start,
+                              perf_counter() - t0, start=start,
+                              record=src.record_idx)
             yield rep, pd
 
     def array_elements(self, data: Data, type_name: str,

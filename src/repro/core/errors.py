@@ -193,6 +193,39 @@ class Pd:
         where = f" at {self.loc}" if self.loc is not None else ""
         return f"{self.nerr} error(s), first {self.err_code.name}{where}"
 
+    def iter_errors(self, path: str = "<top>"):
+        """Walk the errored portion of this descriptor tree, yielding
+        ``(path, err_code, count)`` triples with dotted field paths.
+
+        Child errors are attributed to the child's path; errors a node
+        recorded itself (beyond what it absorbed from children) are
+        attributed to the node's own path.  Array elements collapse to a
+        single ``[]`` path component so the path set stays bounded
+        regardless of array sizes — this is the tally path the
+        observability layer's per-field error counters are built on.
+
+        The walk touches only errored subtrees (``nerr == 0`` nodes are
+        skipped at the parent), so it costs nothing on clean data.
+        """
+        absorbed = 0
+        if self._fields:
+            for name, child in self._fields.items():
+                if child is not None and child.nerr:
+                    absorbed += child.nerr
+                    yield from child.iter_errors(f"{path}.{name}")
+        if self._elts:
+            for child in self._elts:
+                if child is not None and child.nerr:
+                    absorbed += child.nerr
+                    yield from child.iter_errors(f"{path}.[]")
+        if self.branch is not None and self.branch.nerr:
+            absorbed += self.branch.nerr
+            name = self.tag or "<branch>"
+            yield from self.branch.iter_errors(f"{path}.{name}")
+        own = self.nerr - absorbed
+        if own > 0 and self.err_code != ErrCode.NO_ERR:
+            yield path, self.err_code, own
+
 
 class ErrorTally:
     """A mergeable aggregate of parse-descriptor outcomes.

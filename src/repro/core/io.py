@@ -44,6 +44,23 @@ _CHUNK = 1 << 16
 MIN_CHUNK_BYTES = 1 << 16
 
 
+def transparent_encode(text: str) -> bytes:
+    """Encode runtime text back to the bytes it was parsed from.
+
+    Code points 0-255 are literal bytes (the latin-1 convention above);
+    code points above 255 can only have come from a ``Pu_string`` UTF-8
+    decode, so they re-encode as UTF-8.  Round-trips both byte-string and
+    Unicode-string fields in one output stream.
+    """
+    try:
+        return text.encode("latin-1")
+    except UnicodeEncodeError:
+        return b"".join(
+            bytes([o]) if (o := ord(ch)) < 256 else ch.encode("utf-8")
+            for ch in text
+        )
+
+
 class RecordDiscipline:
     """Strategy for finding record boundaries.
 

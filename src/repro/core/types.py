@@ -26,6 +26,7 @@ import random
 import re
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import observe
 from ..expr import ast as E
 from ..expr.eval import Env, EvalError, eval_expr
 from .basetypes.base import BaseType
@@ -270,6 +271,9 @@ class StructNode(PType):
         scope = env.child()
         values: Dict[str, object] = {}
         panicked = False
+        # Hoisted once per struct parse: the per-field tracing cost when
+        # disabled is a single local ``is None`` test.
+        tracer = observe.current_tracer()
 
         i = 0
         while i < len(self.fields):
@@ -294,6 +298,7 @@ class StructNode(PType):
                     # Try to resynchronise on this same literal.
                     delta = f.node.scan_from(src)
                     if delta >= 0:
+                        observe.count("resync.literal")
                         pd.record_error(ErrCode.MISSING_LITERAL, src.loc_from(start))
                         src.skip(delta)
                         src.skip(max(0, f.node.matches_at(src)))
@@ -324,7 +329,19 @@ class StructNode(PType):
             # Data field.
             fmask = mask.for_field(f.name)
             start = src.pos
+            if tracer is not None:
+                tracer.enter(f.name, getattr(f.node, "name", f.node.kind),
+                             start, src.record_idx)
             value, child = f.node.parse(src, fmask, scope)
+            if tracer is not None:
+                if child.nerr == 0:
+                    outcome, code = "ok", ""
+                elif child.pstate & Pstate.PANIC:
+                    outcome, code = "panic", child.err_code.name
+                else:
+                    outcome, code = "err", child.err_code.name
+                tracer.exit(getattr(f.node, "name", f.node.kind), start,
+                            src.pos, src.record_idx, outcome, code)
             stuck = child.nerr > 0 and child.err_code.is_syntactic() and src.pos == start
             if f.constraint is not None and fmask.do_sem and child.nerr == 0:
                 scope.vars[f.name] = value
@@ -348,6 +365,7 @@ class StructNode(PType):
                     j, lit = nxt
                     delta = lit.scan_from(src)
                     if delta >= 0:
+                        observe.count("resync.field_skip")
                         src.skip(delta)
                         src.skip(max(0, lit.matches_at(src)))
                         for k in range(i + 1, j):
@@ -605,6 +623,15 @@ class UnionNode(PType):
             if ok:
                 src.commit(state)
                 pd.tag = br.name
+                tracer = observe.current_tracer()
+                if tracer is not None:
+                    # The taken branch, emitted after the fact so rejected
+                    # branches leave no trace (they consume no input).
+                    tracer.enter(br.name, getattr(br.node, "name", br.node.kind),
+                                 start_loc.offset, src.record_idx)
+                    tracer.exit(getattr(br.node, "name", br.node.kind),
+                                start_loc.offset, src.pos, src.record_idx,
+                                "ok", "")
                 return UnionVal(br.name, value), pd
             src.restore(state)
         pd.record_error(ErrCode.UNION_MATCH_FAILURE, start_loc, panic=True)
@@ -936,6 +963,7 @@ class ArrayNode(PType):
             if d >= 0:
                 candidates.append(d)
         if candidates:
+            observe.count("resync.array")
             src.skip(min(candidates))
             return True
         if src.in_record:

@@ -43,6 +43,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from . import observe
 from .core.errors import ErrorTally
 from .core.io import RecordDiscipline, Source, plan_chunks
 from .tools.accum import DEFAULT_TRACKED, Accumulator
@@ -142,6 +143,11 @@ def _plan_windows(description, data, jobs: Optional[int],
         jobs = os.cpu_count() or 1
     if jobs <= 1:
         return None
+    obs = observe.CURRENT
+    if obs is not None and obs.tracer is not None:
+        # An active tracer pins execution to the serial path so the event
+        # stream stays complete and ordered (metrics alone parallelise).
+        return None
     discipline = description.discipline
     if not discipline.chunkable or _spec_for(description) is None:
         return None
@@ -182,12 +188,16 @@ def _serial_input(description, data):
 # -- map functions (run inside workers) ----------------------------------------
 
 
-def _map_records(task) -> list:
-    spec, window, type_name, mask = task
+def _map_records(task) -> tuple:
+    spec, window, type_name, mask, meter = task
     desc = _materialise(spec)
     src = _open_window(window, desc.discipline)
-    with src:
-        return list(desc.records(src, type_name, mask))
+    if not meter:
+        with src:
+            return list(desc.records(src, type_name, mask)), None
+    with observe.observed() as obs, src:
+        out = list(desc.records(src, type_name, mask))
+    return out, obs.metrics
 
 
 def _map_count(task) -> int:
@@ -202,31 +212,47 @@ def _map_count(task) -> int:
         return count
 
 
-def _map_tally(task) -> ErrorTally:
-    spec, window, type_name, mask = task
+def _map_tally(task) -> tuple:
+    spec, window, type_name, mask, meter = task
     desc = _materialise(spec)
     src = _open_window(window, desc.discipline)
-    tally = ErrorTally()
-    with src:
-        for _rep, pd in desc.records(src, type_name, mask):
-            tally.add(pd)
-    return tally
+
+    def run():
+        tally = ErrorTally()
+        with src:
+            for _rep, pd in desc.records(src, type_name, mask):
+                tally.add(pd)
+        return tally
+
+    if not meter:
+        return run(), None
+    with observe.observed() as obs:
+        tally = run()
+    return tally, obs.metrics
 
 
-def _map_accum(task) -> Tuple[Accumulator, ErrorTally]:
-    spec, window, record_type, mask, tracked, summaries = task
+def _map_accum(task) -> tuple:
+    spec, window, record_type, mask, tracked, summaries, meter = task
     desc = _materialise(spec)
     acc = Accumulator(desc.node(record_type), "<top>", tracked)
     if summaries:
         from .tools.summaries import attach_summaries
         attach_summaries(acc)
-    tally = ErrorTally()
-    src = _open_window(window, desc.discipline)
-    with src:
-        for rep, pd in desc.records(src, record_type, mask):
-            acc.add(rep, pd)
-            tally.add(pd)
-    return acc, tally
+
+    def run():
+        tally = ErrorTally()
+        src = _open_window(window, desc.discipline)
+        with src:
+            for rep, pd in desc.records(src, record_type, mask):
+                acc.add(rep, pd)
+                tally.add(pd)
+        return tally
+
+    if not meter:
+        return acc, run(), None
+    with observe.observed() as obs:
+        tally = run()
+    return acc, tally, obs.metrics
 
 
 def _seed(description, spec: DescSpec) -> None:
@@ -285,9 +311,12 @@ def parallel_records(description, data, type_name: str, mask=None,
     windows, jobs = plan
     spec = _spec_for(description)
     _seed(description, spec)
-    tasks = [(spec, w, type_name, mask) for w in windows]
+    cur = observe.CURRENT
+    tasks = [(spec, w, type_name, mask, cur is not None) for w in windows]
     base = 0
-    for chunk in _pool(jobs).map(_map_records, tasks):
+    for chunk, registry in _pool(jobs).map(_map_records, tasks):
+        if registry is not None and cur is not None:
+            cur.metrics.merge(registry)
         cache: dict = {}
         for rep, pd in chunk:
             _rebase_pd(pd, base, cache)
@@ -327,10 +356,13 @@ def parallel_tally(description, data, type_name: str, mask=None,
     windows, jobs = plan
     spec = _spec_for(description)
     _seed(description, spec)
-    tasks = [(spec, w, type_name, mask) for w in windows]
+    cur = observe.CURRENT
+    tasks = [(spec, w, type_name, mask, cur is not None) for w in windows]
     tally = ErrorTally()
     base = 0
-    for part in _pool(jobs).map(_map_tally, tasks):
+    for part, registry in _pool(jobs).map(_map_tally, tasks):
+        if registry is not None and cur is not None:
+            cur.metrics.merge(registry)
         _rebase_tally(part, base)
         base += part.records
         tally.merge(part)
@@ -389,9 +421,12 @@ def parallel_accumulate(description, data, record_type: str, mask=None,
     windows, jobs = plan
     spec = _spec_for(description)
     _seed(description, spec)
-    tasks = [(spec, w, record_type, mask, tracked, summaries)
+    cur = observe.CURRENT
+    tasks = [(spec, w, record_type, mask, tracked, summaries, cur is not None)
              for w in windows]
-    for part_acc, part_tally in _pool(jobs).map(_map_accum, tasks):
+    for part_acc, part_tally, registry in _pool(jobs).map(_map_accum, tasks):
+        if registry is not None and cur is not None:
+            cur.metrics.merge(registry)
         acc.merge(part_acc)
         _rebase_tally(part_tally, base)
         base += part_tally.records

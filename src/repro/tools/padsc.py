@@ -17,10 +17,12 @@ one entry point::
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 from typing import Optional
 
+from .. import observe
 from ..core.api import compile_description, compile_file
 from ..core.errors import DescriptionError, PadsError
 from ..core.io import FixedWidthRecords, LengthPrefixedRecords, NewlineRecords, NoRecords
@@ -134,16 +136,27 @@ def cmd_accum(args) -> int:
     return 0
 
 
+def _emit_lines(lines) -> None:
+    # Bypass stdout's text encoding: byte-string fields must come out as
+    # the bytes they were parsed from, not their utf-8 re-encoding.
+    from ..core.io import transparent_encode
+    out = sys.stdout.buffer
+    sys.stdout.flush()
+    for line in lines:
+        out.write(transparent_encode(line))
+        out.write(b"\n")
+    out.flush()
+
+
 def cmd_fmt(args) -> int:
     from .fmt import format_records
     d = _load(args)
     path = _parallel_file(args)
     data = path if path is not None else _data_input(args, d)
-    for line in format_records(d, data, args.record, delims=list(args.delims),
+    _emit_lines(format_records(d, data, args.record, delims=list(args.delims),
                                date_format=args.date_format,
                                skip_errors=args.skip_errors,
-                               jobs=args.jobs):
-        print(line)
+                               jobs=args.jobs))
     return 0
 
 
@@ -152,8 +165,7 @@ def cmd_xml(args) -> int:
     d = _load(args)
     path = _parallel_file(args)
     data = path if path is not None else _data_input(args, d)
-    for chunk in xml_records(d, data, args.record, jobs=args.jobs):
-        print(chunk)
+    _emit_lines(xml_records(d, data, args.record, jobs=args.jobs))
     return 0
 
 
@@ -284,6 +296,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "a chunkable record discipline; otherwise "
                             "falls back to the serial path)")
 
+    def obs_flags(p):
+        p.add_argument("--stats", nargs="?", const="text",
+                       choices=["text", "json"], default=None,
+                       metavar="FORMAT",
+                       help="report parse metrics to stderr after the run "
+                            "(--stats for text, --stats=json for JSON)")
+        p.add_argument("--trace", nargs="?", const="-", default=None,
+                       metavar="FILE",
+                       help="stream per-field parse-trace events as JSONL "
+                            "to FILE ('-' or omitted: stderr); tracing "
+                            "forces the serial path")
+
     p = sub.add_parser("check", help="parse and typecheck a description")
     common(p, data=False)
     p.set_defaults(fn=cmd_check)
@@ -306,6 +330,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="attach streaming histogram/quantile summaries "
                         "(paper Section 9)")
     jobs_flag(p)
+    obs_flags(p)
     p.set_defaults(fn=cmd_accum)
 
     p = sub.add_parser("fmt", help="delimited formatting")
@@ -315,18 +340,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--date-format", default=None)
     p.add_argument("--skip-errors", action="store_true")
     jobs_flag(p)
+    obs_flags(p)
     p.set_defaults(fn=cmd_fmt)
 
     p = sub.add_parser("xml", help="convert to canonical XML")
     common(p)
     p.add_argument("--record", required=True)
     jobs_flag(p)
+    obs_flags(p)
     p.set_defaults(fn=cmd_xml)
 
     p = sub.add_parser("count", help="count records (the paper's "
                                      "record-counting floor)")
     common(p)
     jobs_flag(p)
+    obs_flags(p)
     p.set_defaults(fn=cmd_count)
 
     p = sub.add_parser("xsd", help="emit the XML Schema")
@@ -340,6 +368,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--root", default="source", help="name of the root node")
     p.add_argument("--record", help="stream record-at-a-time over this type "
                                     "(bind each record to $record)")
+    obs_flags(p)
     p.set_defaults(fn=cmd_query)
 
     p = sub.add_parser("gen", help="generate conforming random data")
@@ -373,10 +402,38 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run(args) -> int:
+    """Dispatch a subcommand, wrapped in an observation session when
+    ``--stats``/``--trace`` were given.  Stats and trace streams go to
+    stderr by default so stdout stays clean for data pipes."""
+    stats = getattr(args, "stats", None)
+    trace = getattr(args, "trace", None)
+    if stats is None and trace is None:
+        return args.fn(args)
+    opened = sink = None
+    if trace is not None:
+        if trace == "-":
+            sink = sys.stderr
+        else:
+            opened = sink = open(trace, "w", encoding="utf-8")
+    try:
+        with observe.observed(trace_sink=sink) as obs:
+            ret = args.fn(args)
+        if stats == "json":
+            print(json.dumps(obs.stats(), indent=2, sort_keys=True),
+                  file=sys.stderr)
+        elif stats is not None:
+            print(obs.summary(), file=sys.stderr)
+        return ret
+    finally:
+        if opened is not None:
+            opened.close()
+
+
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        return args.fn(args)
+        return _run(args)
     except (PadsError, OSError) as exc:
         print(f"padsc: {exc}", file=sys.stderr)
         return 1

@@ -152,3 +152,119 @@ class TestCountAndJobs:
                             type("S", (), {"buffer": _io.BytesIO(data)})())
         assert main(["count", clf_file, "-", "-j", "4"]) == 0
         assert capsys.readouterr().out.strip() == "2"
+
+    def test_xml_parallel_matches_serial(self, clf_file, big_log, capsys):
+        argv = ["xml", clf_file, big_log, "--record", "entry_t"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["-j", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_fmt_stdout_is_byte_transparent(self, tmp_path, capsysbinary):
+        """High bytes reach stdout as the bytes they were parsed from,
+        not their utf-8 re-encoding (fmt/xml write raw bytes)."""
+        desc = tmp_path / "l1.pads"
+        desc.write_text("Precord Pstruct entry_t {"
+                        " Pstring(:'|':) name; '|'; Puint32 n; };")
+        data = tmp_path / "l1.dat"
+        data.write_bytes(b"caf\xe9|7\nna\xefve|9\n")
+        assert main(["fmt", str(desc), str(data),
+                     "--record", "entry_t"]) == 0
+        out = capsysbinary.readouterr().out
+        assert out == b"caf\xe9|7\nna\xefve|9\n"
+        assert main(["xml", str(desc), str(data),
+                     "--record", "entry_t"]) == 0
+        out = capsysbinary.readouterr().out
+        assert b"<name>caf\xe9</name>" in out
+        assert b"caf\xc3\xa9" not in out
+
+
+class TestObservabilityFlags:
+    @pytest.fixture
+    def big_log(self, tmp_path):
+        import random
+        from repro.tools.datagen import clf_workload
+        path = tmp_path / "big.log"
+        path.write_bytes(clf_workload(800, random.Random(7)))
+        return str(path)
+
+    @staticmethod
+    def _deterministic(doc):
+        """The projection of a --stats=json doc that must be identical
+        between serial and parallel runs (drop wall-clock values)."""
+        doc = dict(doc)
+        doc.pop("throughput", None)
+        doc["latency"] = {name: {"count": hist["count"]}
+                         for name, hist in doc["latency"].items()}
+        return doc
+
+    def test_stats_text_goes_to_stderr(self, clf_file, clf_data, capsys):
+        assert main(["accum", clf_file, clf_data, "--record", "entry_t",
+                     "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "records: 2" in captured.err
+        assert "records/sec" in captured.err
+        assert "records/sec" not in captured.out  # stdout stays data-only
+
+    def test_stats_json_shape(self, clf_file, clf_data, capsys):
+        import json
+        assert main(["fmt", clf_file, clf_data, "--record", "entry_t",
+                     "--delims", "|", "--date-format", "%D:%T",
+                     "--stats=json"]) == 0
+        captured = capsys.readouterr()
+        doc = json.loads(captured.err)
+        assert doc["records"]["total"] == 2
+        assert doc["bytes"]["total"] == len(gallery.CLF_SAMPLE)
+        assert {"records", "bytes", "errors", "latency", "record_bytes",
+                "resync", "throughput"} <= set(doc)
+        assert captured.out == gallery.CLF_FORMATTED
+
+    def test_stats_json_serial_matches_parallel(self, clf_file, big_log,
+                                                capsys):
+        import json
+        argv = ["accum", clf_file, big_log, "--record", "entry_t",
+                "--stats=json"]
+        assert main(argv) == 0
+        serial = capsys.readouterr()
+        assert main(argv + ["-j", "4"]) == 0
+        parallel = capsys.readouterr()
+        assert parallel.out == serial.out
+        # cmd_accum also notes the record count on stderr; the stats
+        # document is the JSON object that follows.
+        s_doc = self._deterministic(json.loads(serial.err[serial.err.index("{"):]))
+        p_doc = self._deterministic(json.loads(parallel.err[parallel.err.index("{"):]))
+        assert s_doc == p_doc
+        assert s_doc["records"]["total"] == 800
+
+    def test_trace_to_file(self, clf_file, clf_data, tmp_path, capsys):
+        import json
+        out = tmp_path / "trace.jsonl"
+        assert main(["xml", clf_file, clf_data, "--record", "entry_t",
+                     "--trace", str(out)]) == 0
+        events = [json.loads(line)
+                  for line in out.read_text().splitlines()]
+        assert events
+        assert {"kind", "path", "type", "start", "end", "record",
+                "outcome", "err"} <= set(events[0])
+        assert sum(1 for e in events if e["kind"] == "record") == 2
+
+    def test_trace_default_streams_to_stderr(self, clf_file, clf_data,
+                                             capsys):
+        import json
+        assert main(["count", clf_file, clf_data, "--trace"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip() == "2"
+        # count never parses fields, so only the stream being valid JSONL
+        # (possibly empty) is guaranteed here.
+        for line in captured.err.splitlines():
+            json.loads(line)
+
+    def test_stats_flag_error_paths_keep_exit_codes(self, tmp_path, capsys):
+        bad = tmp_path / "bad.pads"
+        bad.write_text("Pstruct p { Pnosuch x; };")
+        data = tmp_path / "d.txt"
+        data.write_text("x\n")
+        assert main(["accum", str(bad), str(data), "--record", "p",
+                     "--stats"]) == 1
+        assert main(["query", "/nonexistent.pads", str(data), "/a",
+                     "--stats=json"]) == 1

@@ -1,0 +1,167 @@
+"""Differential sweep hardening the observability layer.
+
+Every gallery description runs through the interpreter and the generated
+engine, serially and through ``records_parallel``, with observability off
+and on.  All four paths must produce identical values, parse-descriptor
+summaries and accumulator reports — enabling observation never changes
+parse results, and both engines report the same (deterministic subset of)
+metrics because the per-field error counters are derived from the pd
+trees both engines already agree on.
+"""
+
+import random
+
+import pytest
+
+from repro import Mask, P_Check, P_CheckAndSet, P_Set, gallery, observe
+from repro.codegen import compile_generated
+from repro.core.io import FixedWidthRecords
+from repro.core.masks import MaskFlag
+from repro.tools.accum import Accumulator
+from repro.tools.datagen import (
+    call_detail_workload,
+    clf_workload,
+    sirius_workload,
+)
+
+from .test_codegen import pd_summary
+
+JOBS = 3
+
+
+def _case_clf():
+    return (gallery.load_clf(), compile_generated(gallery.CLF),
+            clf_workload(300, random.Random(11)), "entry_t")
+
+
+def _case_sirius():
+    data = sirius_workload(90, random.Random(12)).split(b"\n", 1)[1]
+    return (gallery.load_sirius(), compile_generated(gallery.SIRIUS),
+            data, "entry_t")
+
+
+def _case_call_detail():
+    disc = FixedWidthRecords(gallery.CALL_DETAIL_WIDTH)
+    return (gallery.load_call_detail(),
+            compile_generated(gallery.CALL_DETAIL, ambient="binary",
+                              discipline=disc),
+            call_detail_workload(150, random.Random(13)), "call_t")
+
+
+CASES = {
+    "clf": _case_clf,
+    "sirius": _case_sirius,
+    "call_detail": _case_call_detail,
+}
+
+
+@pytest.fixture(scope="module")
+def cases():
+    return {name: build() for name, build in CASES.items()}
+
+
+def run_records(description, data, record_type, *, parallel=False,
+                metered=False):
+    """One sweep configuration: returns (reps, pd summaries, stats)."""
+    def consume():
+        if parallel:
+            out = list(description.records_parallel(data, record_type,
+                                                    jobs=JOBS))
+        else:
+            out = list(description.records(data, record_type))
+        return [r for r, _ in out], [pd_summary(p) for _, p in out]
+
+    if not metered:
+        return (*consume(), None)
+    with observe.observed() as obs:
+        reps, pds = consume()
+    return reps, pds, obs.stats(deterministic=True)
+
+
+@pytest.mark.parametrize("name", list(CASES))
+class TestEnginesAgree:
+    """Interpreter vs generated engine, with and without observation."""
+
+    def test_serial_with_and_without_observe(self, cases, name):
+        interp, gen, data, rtype = cases[name]
+        base_reps, base_pds, _ = run_records(interp, data, rtype)
+        for engine in (interp, gen):
+            for metered in (False, True):
+                reps, pds, _ = run_records(engine, data, rtype,
+                                           metered=metered)
+                assert reps == base_reps
+                assert pds == base_pds
+
+    def test_deterministic_stats_match_across_engines(self, cases, name):
+        interp, gen, data, rtype = cases[name]
+        _, _, s_interp = run_records(interp, data, rtype, metered=True)
+        _, _, s_gen = run_records(gen, data, rtype, metered=True)
+        assert s_interp == s_gen
+        assert s_interp["records"]["total"] > 0
+
+    def test_masked_parses_agree_under_observation(self, cases, name):
+        interp, gen, data, rtype = cases[name]
+        masks = [Mask(P_CheckAndSet), Mask(P_Check),
+                 Mask(P_Set | MaskFlag.SYN_CHECK)]
+        for mask in masks:
+            pairs = []
+            for engine in (interp, gen):
+                with observe.observed() as obs:
+                    out = list(engine.records(data, rtype, mask))
+                pairs.append(([pd_summary(p) for _, p in out],
+                              obs.stats(deterministic=True)))
+            assert pairs[0] == pairs[1]
+
+
+@pytest.mark.parametrize("name", list(CASES))
+class TestSerialParallelAgree:
+    """records vs records_parallel (falls back serially when the record
+    discipline cannot be chunk-aligned — still must agree)."""
+
+    def test_values_and_pds(self, cases, name):
+        interp, gen, data, rtype = cases[name]
+        for engine in (interp, gen):
+            s_reps, s_pds, _ = run_records(engine, data, rtype)
+            p_reps, p_pds, _ = run_records(engine, data, rtype,
+                                           parallel=True)
+            assert p_reps == s_reps
+            assert p_pds == s_pds
+
+    def test_deterministic_stats(self, cases, name):
+        interp, _gen, data, rtype = cases[name]
+        _, _, serial = run_records(interp, data, rtype, metered=True)
+        _, _, par = run_records(interp, data, rtype, parallel=True,
+                                metered=True)
+        assert serial == par
+
+
+@pytest.mark.parametrize("name", ["clf", "sirius"])
+class TestAccumulatorsAgree:
+    """Accumulator reports across engines, paths and observation states."""
+
+    def _serial_report(self, engine, data, rtype, metered):
+        acc = Accumulator(engine.node(rtype), "<top>", 1000)
+        if metered:
+            with observe.observed():
+                for rep, pd in engine.records(data, rtype):
+                    acc.add(rep, pd)
+        else:
+            for rep, pd in engine.records(data, rtype):
+                acc.add(rep, pd)
+        return acc.full_report()
+
+    def test_reports_identical_everywhere(self, cases, name):
+        interp, gen, data, rtype = cases[name]
+        base = self._serial_report(interp, data, rtype, metered=False)
+        assert self._serial_report(interp, data, rtype, metered=True) == base
+        assert self._serial_report(gen, data, rtype, metered=False) == base
+        assert self._serial_report(gen, data, rtype, metered=True) == base
+        for metered in (False, True):
+            if metered:
+                with observe.observed():
+                    acc, _hdr, _tally = interp.accumulate_parallel(
+                        data, rtype, jobs=JOBS)
+            else:
+                acc, _hdr, _tally = interp.accumulate_parallel(
+                    data, rtype, jobs=JOBS)
+            assert acc.full_report() == base
