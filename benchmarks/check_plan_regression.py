@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Gate on BENCH_plan.json: plan-driven engines must not regress.
+
+Reads the pytest-benchmark JSON produced by ``bench_plan.py`` and
+compares each plan-driven benchmark's median against its reference-mode
+twin (``fastpath=False``, the pre-refactor parse path).  The plan-driven
+side carries the record fast functions and fused literal runs, so it
+should be *faster*; the gate fails if any engine is more than 5% slower
+than its reference.
+
+Optionally cross-checks against BENCH_parallel.json: its serial vetting
+benchmark (``test_vet_serial``) measures the identical workload through
+the plan-driven generated engine, so the two medians must agree within
+a generous tolerance (guarding against the smoke comparing different
+workloads after a refactor).
+
+Usage::
+
+    python benchmarks/check_plan_regression.py BENCH_plan.json \
+        [BENCH_parallel.json]
+
+Exits 0 when every gate holds, 1 otherwise.  Stdlib only.
+"""
+
+import json
+import sys
+
+#: (plan-driven benchmark, reference benchmark) pairs; the first must not
+#: be slower than ``TOLERANCE`` times the second.
+PAIRS = [
+    ("test_interp_vet_plan", "test_interp_vet_reference"),
+    ("test_gen_vet_plan", "test_gen_vet_reference"),
+    ("test_interp_calls_plan", "test_interp_calls_reference"),
+]
+
+TOLERANCE = 1.05          # >5% regression fails
+CROSS_TOLERANCE = 2.0     # sanity band for the BENCH_parallel cross-check
+
+
+def medians(path):
+    with open(path) as handle:
+        payload = json.load(handle)
+    out = {}
+    for bench in payload.get("benchmarks", []):
+        out[bench["name"]] = bench["stats"]["median"]
+    return out
+
+
+def main(argv):
+    if not argv:
+        print(__doc__)
+        return 1
+    plan = medians(argv[0])
+    failures = []
+
+    for fast_name, ref_name in PAIRS:
+        if fast_name not in plan or ref_name not in plan:
+            failures.append(f"missing benchmark pair {fast_name}/{ref_name} "
+                            f"in {argv[0]}")
+            continue
+        fast, ref = plan[fast_name], plan[ref_name]
+        ratio = fast / ref if ref else float("inf")
+        verdict = "OK" if ratio <= TOLERANCE else "REGRESSION"
+        print(f"{fast_name}: {fast:.4f}s vs {ref_name}: {ref:.4f}s "
+              f"-> {ratio:.3f}x ({verdict})")
+        if ratio > TOLERANCE:
+            failures.append(
+                f"{fast_name} is {ratio:.3f}x its reference "
+                f"(limit {TOLERANCE}x)")
+
+    if len(argv) > 1:
+        par = medians(argv[1])
+        if "test_gen_vet_plan" in plan and "test_vet_serial" in par:
+            a, b = plan["test_gen_vet_plan"], par["test_vet_serial"]
+            ratio = max(a, b) / min(a, b) if min(a, b) else float("inf")
+            verdict = "OK" if ratio <= CROSS_TOLERANCE else "MISMATCH"
+            print(f"cross-check vs BENCH_parallel test_vet_serial: "
+                  f"{a:.4f}s vs {b:.4f}s -> {ratio:.3f}x ({verdict})")
+            if ratio > CROSS_TOLERANCE:
+                failures.append(
+                    f"plan/gen vetting median diverges {ratio:.3f}x from "
+                    f"BENCH_parallel's serial vetting (limit "
+                    f"{CROSS_TOLERANCE}x) — are the workloads still the "
+                    "same?")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

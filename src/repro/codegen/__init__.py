@@ -37,12 +37,16 @@ _counter = 0
 
 def generate_source(text: str, *, ambient: str = "ascii",
                     filename: str = "<description>",
-                    check: bool = True) -> str:
-    """Compile description source to Python module source."""
+                    check: bool = True, fastpath: bool = True) -> str:
+    """Compile description source to Python module source.
+
+    ``fastpath`` disables the plan-compiled record fast functions and
+    fused literal runs (reference mode for differential testing).
+    """
     desc = parse_description(text, filename)
     if check:
         check_description(desc, ambient)
-    return _emit(desc, ambient, source_text=text)
+    return _emit(desc, ambient, source_text=text, fastpath=fastpath)
 
 
 def load_module(py_source: str, module_name: Optional[str] = None):
@@ -61,10 +65,11 @@ def load_module(py_source: str, module_name: Optional[str] = None):
 def compile_generated(text: str, *, ambient: str = "ascii",
                       discipline: Optional[RecordDiscipline] = None,
                       filename: str = "<description>",
-                      check: bool = True) -> "GeneratedDescription":
+                      check: bool = True,
+                      fastpath: bool = True) -> "GeneratedDescription":
     """Generate, load and wrap a parser module for ``text``."""
     py_source = generate_source(text, ambient=ambient, filename=filename,
-                                check=check)
+                                check=check, fastpath=fastpath)
     module = load_module(py_source)
     return GeneratedDescription(module, discipline, py_source)
 

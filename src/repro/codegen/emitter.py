@@ -1,8 +1,11 @@
-"""Compile a PADS description to Python source.
+"""Compile an analyzed plan to Python source.
 
 The paper's compiler turns a description into ``.h``/``.c`` files; this
-emitter turns one into a single importable Python module.  Per declared
-type it generates:
+emitter turns one into a single importable Python module.  It consumes
+the plan IR (:mod:`repro.plan`) — the same analyzed middle layer the
+interpreter binds from — so encodings, resolved base types, literal
+byte forms, fused literal runs and fastpath verdicts are derived once,
+not re-computed here.  Per declared type it generates:
 
 * ``<name>_parse(src, mask, *params)`` — a specialised parser with the
   struct/union/array control flow, constraint checks, masks and error
@@ -22,15 +25,30 @@ property tests pinning the two against each other.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
-from ..core.basetypes.base import resolve_base_type
 from ..dsl import ast as D
 from ..expr import ast as E
-from ..expr.eval import BUILTINS
-from ..expr.pycompile import compile_expr, compile_function
-
-_ENCODINGS = {"ascii": "latin-1", "binary": "latin-1", "ebcdic": "cp037"}
+from ..expr.pycompile import compile_function
+from ..plan import analyze
+from ..plan.ir import (
+    ArrayPlan,
+    BaseUse,
+    ComputeItem,
+    DataItem,
+    DeclPlan,
+    EnumPlan,
+    LitItem,
+    OptUse,
+    Plan,
+    RefUse,
+    RegexUse,
+    StructPlan,
+    SwitchPlan,
+    TypedefPlan,
+    UnionPlan,
+    Use,
+)
 
 
 class _W:
@@ -68,21 +86,17 @@ class _Indent:
 class Emitter:
     def __init__(self, desc: D.Description, ambient: str = "ascii",
                  module_name: str = "pads_generated",
-                 source_text: str = ""):
+                 source_text: str = "", plan: Optional[Plan] = None,
+                 fastpath: bool = True):
         self.desc = desc
         self.ambient = ambient
-        self.encoding = _ENCODINGS[ambient]
+        self.plan = plan if plan is not None else analyze(desc, ambient)
+        self.encoding = self.plan.encoding
         self.module_name = module_name
         self.source_text = source_text
-        self.declared: Dict[str, D.Decl] = desc.types()
-        self.functions = desc.functions()
-        self.enum_literals: Dict[str, Tuple[str, int, str]] = {}
-        for decl in desc.decls:
-            if isinstance(decl, D.EnumDecl):
-                for pos, item in enumerate(decl.items):
-                    code = item.value if item.value is not None else pos
-                    phys = item.physical if item.physical is not None else item.name
-                    self.enum_literals[item.name] = (item.name, code, phys)
+        self.fastpath = fastpath
+        self.functions = self.plan.functions
+        self.enum_literals = self.plan.enum_literals
         self._const_count = 0
         self._consts: List[str] = []  # module-level constant definitions
         self._tmp = 0
@@ -100,50 +114,31 @@ class Emitter:
         self._consts.append(f"{name} = {expr}")
         return name
 
-    def lit_bytes(self, text: str) -> bytes:
-        return text.encode(self.encoding)
-
     def resolver(self, scope: Dict[str, str]):
-        def r(name: str) -> str:
-            if name in scope:
-                return scope[name]
-            if name in self.enum_literals:
-                return f"E_{name}"
-            if name in self.functions:
-                return f"fn_{name}"
-            if name in BUILTINS:
-                return f"_B[{name!r}]"
-            return name
-        return r
+        return self.plan.resolver(scope)
 
     def cexpr(self, expr: E.Expr, scope: Dict[str, str]) -> str:
-        return compile_expr(expr, self.resolver(scope))
+        return self.plan.cexpr(expr, scope)
 
     # -- type uses -------------------------------------------------------------
 
-    def is_declared(self, name: str) -> bool:
-        return name in self.declared
-
-    def static_base(self, name: str, args: List[E.Expr]) -> Optional[str]:
-        """Module-level constant for a base type with literal args."""
-        if not all(isinstance(a, (E.IntLit, E.StrLit, E.CharLit, E.FloatLit,
-                                  E.BoolLit)) for a in args):
+    def static_const(self, use: BaseUse) -> Optional[str]:
+        """Module-level constant for a statically resolved base-type use."""
+        if use.static is None:
             return None
-        values = tuple(a.value for a in args)
-        # Validate eagerly so generation fails fast on bad descriptions.
-        resolve_base_type(name, values, self.ambient)
-        return self.const(f"_resolve({name!r}, {values!r}, AMBIENT)")
+        return self.const(f"_resolve({use.name!r}, {use.static_args!r}, "
+                          "AMBIENT)")
 
-    def emit_use_parse(self, w: _W, texpr: D.TypeExpr, mask_expr: str,
+    def emit_use_parse(self, w: _W, use: Use, mask_expr: str,
                        val: str, pd: str, scope: Dict[str, str]) -> None:
         """Emit code assigning ``val`` (value) and ``pd`` (child Pd) for a
-        parse of the type-use ``texpr`` at the cursor."""
-        if isinstance(texpr, D.OptType):
+        parse of the type-use ``use`` at the cursor."""
+        if isinstance(use, OptUse):
             inner_val = self.tmp("ov")
             inner_pd = self.tmp("opd")
             state = self.tmp("st")
             w.w(f"{state} = src.mark()")
-            self.emit_use_parse(w, texpr.inner, mask_expr, inner_val, inner_pd, scope)
+            self.emit_use_parse(w, use.inner, mask_expr, inner_val, inner_pd, scope)
             with w.block(f"if {inner_pd}.nerr == 0:"):
                 w.w(f"src.commit({state})")
                 w.w(f"{pd} = Pd()")
@@ -156,14 +151,13 @@ class Emitter:
                 w.w(f"{val} = None")
             return
 
-        if isinstance(texpr, D.RegexType):
-            inst = self.const(f"_RegexME({texpr.pattern!r})")
+        if isinstance(use, RegexUse):
+            inst = self.const(f"_RegexME({use.pattern!r})")
             self._emit_base_parse(w, inst, mask_expr, val, pd)
             return
 
-        assert isinstance(texpr, D.TypeRef)
-        name, args = texpr.name, texpr.args
-        if self.is_declared(name):
+        if isinstance(use, RefUse):
+            name, args = use.name, use.args
             arg_code = ", ".join(self.cexpr(a, scope) for a in args)
             call = f"{name}_parse(src, {mask_expr}" + (f", {arg_code}" if arg_code else "") + ")"
             if args:
@@ -178,17 +172,18 @@ class Emitter:
                 w.w(f"{val}, {pd} = {call}")
             return
 
-        static = self.static_base(name, args)
+        assert isinstance(use, BaseUse)
+        static = self.static_const(use)
         if static is not None:
             self._emit_base_parse(w, static, mask_expr, val, pd)
             return
 
         # Dynamic base-type parameters.
         inst = self.tmp("bt")
-        arg_code = ", ".join(self.cexpr(a, scope) for a in args)
+        arg_code = ", ".join(self.cexpr(a, scope) for a in use.args)
         w.w(f"{pd} = Pd()")
         with w.block("try:"):
-            w.w(f"{inst} = _resolve({name!r}, ({arg_code},), AMBIENT)")
+            w.w(f"{inst} = _resolve({use.name!r}, ({arg_code},), AMBIENT)")
         with w.block("except Exception:"):
             w.w(f"{inst} = None")
             w.w(f"{pd}.record_error(ErrCode.USER_CONSTRAINT_VIOLATION, "
@@ -216,65 +211,59 @@ class Emitter:
         with w.block(f"elif not ({mask_expr}.bits & 1):"):
             w.w(f"{val} = {inst}.default()")
 
-    def emit_use_write(self, w: _W, texpr: D.TypeExpr, val: str,
+    def emit_use_write(self, w: _W, use: Use, val: str,
                        scope: Dict[str, str]) -> None:
-        if isinstance(texpr, D.OptType):
+        if isinstance(use, OptUse):
             with w.block(f"if {val} is not None:"):
-                self.emit_use_write(w, texpr.inner, val, scope)
+                self.emit_use_write(w, use.inner, val, scope)
             return
-        if isinstance(texpr, D.RegexType):
-            inst = self.const(f"_RegexME({texpr.pattern!r})")
+        if isinstance(use, RegexUse):
+            inst = self.const(f"_RegexME({use.pattern!r})")
             w.w(f"out.append({inst}.write({val}))")
             return
-        assert isinstance(texpr, D.TypeRef)
-        name, args = texpr.name, texpr.args
-        if self.is_declared(name):
-            arg_code = ", ".join(self.cexpr(a, scope) for a in args)
-            w.w(f"{name}_write({val}, out" + (f", {arg_code}" if arg_code else "") + ")")
+        if isinstance(use, RefUse):
+            arg_code = ", ".join(self.cexpr(a, scope) for a in use.args)
+            w.w(f"{use.name}_write({val}, out" + (f", {arg_code}" if arg_code else "") + ")")
             return
-        static = self.static_base(name, args)
+        assert isinstance(use, BaseUse)
+        static = self.static_const(use)
         if static is not None:
             w.w(f"out.append({static}.write({val}))")
             return
-        arg_code = ", ".join(self.cexpr(a, scope) for a in args)
-        w.w(f"out.append(_resolve({name!r}, ({arg_code},), AMBIENT).write({val}))")
+        arg_code = ", ".join(self.cexpr(a, scope) for a in use.args)
+        w.w(f"out.append(_resolve({use.name!r}, ({arg_code},), AMBIENT).write({val}))")
 
-    def emit_use_verify(self, w: _W, texpr: D.TypeExpr, val: str,
+    def emit_use_verify(self, w: _W, use: Use, val: str,
                         scope: Dict[str, str]) -> None:
         """Emit ``return False`` paths for a nested verification."""
-        if isinstance(texpr, D.OptType):
+        if isinstance(use, OptUse):
             sub = _W()
             sub.depth = w.depth + 1
-            self.emit_use_verify(sub, texpr.inner, val, scope)
+            self.emit_use_verify(sub, use.inner, val, scope)
             if sub.lines:
                 w.w(f"if {val} is not None:")
                 w.lines.extend(sub.lines)
             return
-        if isinstance(texpr, D.RegexType):
-            return
-        assert isinstance(texpr, D.TypeRef)
-        name, args = texpr.name, texpr.args
-        if self.is_declared(name):
-            arg_code = ", ".join(self.cexpr(a, scope) for a in args)
-            call = f"{name}_verify({val}" + (f", {arg_code}" if arg_code else "") + ")"
+        if isinstance(use, RefUse):
+            arg_code = ", ".join(self.cexpr(a, scope) for a in use.args)
+            call = f"{use.name}_verify({val}" + (f", {arg_code}" if arg_code else "") + ")"
             with w.block(f"if not {call}:"):
                 w.w("return False")
 
-    def use_default_expr(self, texpr: D.TypeExpr, scope: Dict[str, str]) -> str:
-        if isinstance(texpr, D.OptType):
+    def use_default_expr(self, use: Use, scope: Dict[str, str]) -> str:
+        if isinstance(use, OptUse):
             return "None"
-        if isinstance(texpr, D.RegexType):
+        if isinstance(use, RegexUse):
             return "''"
-        assert isinstance(texpr, D.TypeRef)
-        name, args = texpr.name, texpr.args
-        if self.is_declared(name):
-            arg_code = ", ".join(self.cexpr(a, scope) for a in args)
-            return f"_safe_default(lambda: {name}_default({arg_code}))"
-        static = self.static_base(name, args)
+        if isinstance(use, RefUse):
+            arg_code = ", ".join(self.cexpr(a, scope) for a in use.args)
+            return f"_safe_default(lambda: {use.name}_default({arg_code}))"
+        assert isinstance(use, BaseUse)
+        static = self.static_const(use)
         if static is not None:
             return f"{static}.default()"
-        arg_code = ", ".join(self.cexpr(a, scope) for a in args)
-        return (f"_safe_default(lambda: _resolve({name!r}, ({arg_code},), "
+        arg_code = ", ".join(self.cexpr(a, scope) for a in use.args)
+        return (f"_safe_default(lambda: _resolve({use.name!r}, ({arg_code},), "
                 "AMBIENT).default())")
 
     # -- declarations -----------------------------------------------------------
@@ -282,45 +271,31 @@ class Emitter:
     def emit_module(self) -> str:
         w = _W()
         body = _W()
-        for decl in self.desc.decls:
+        for kind, entry in self.plan.order:
             body.w()
             body.w()
-            if isinstance(decl, D.FuncDecl):
-                self.emit_function(body, decl)
-            elif isinstance(decl, D.BitfieldsDecl):
-                lowered = D.lower_bitfields(decl)
-                if lowered.is_record and not lowered.params:
-                    from .fastpath import try_fastpath
-                    fast = try_fastpath(self, lowered)
-                    if fast is not None:
-                        fn_name, lines = fast
-                        self._fastpaths[lowered.name] = fn_name
-                        body.lines.extend(lines)
-                        body.w()
-                self.emit_struct(body, lowered)
-            elif isinstance(decl, D.StructDecl):
-                if decl.is_record and not decl.params:
-                    from .fastpath import try_fastpath
-                    fast = try_fastpath(self, decl)
-                    if fast is not None:
-                        fn_name, lines = fast
-                        self._fastpaths[decl.name] = fn_name
-                        body.lines.extend(lines)
-                        body.w()
-                self.emit_struct(body, decl)
-            elif isinstance(decl, D.UnionDecl):
-                if decl.is_switched:
-                    self.emit_switch_union(body, decl)
-                else:
-                    self.emit_union(body, decl)
-            elif isinstance(decl, D.ArrayDecl):
-                self.emit_array(body, decl)
-            elif isinstance(decl, D.EnumDecl):
-                self.emit_enum(body, decl)
-            elif isinstance(decl, D.TypedefDecl):
-                self.emit_typedef(body, decl)
-            if isinstance(decl, D.Decl):
-                self.emit_tool_surface(body, decl)
+            if kind == "func":
+                self.emit_function(body, entry)
+                continue
+            dp = entry
+            if self.fastpath and dp.verdict.eligible and dp.fast_fn is not None:
+                fn_name, lines = dp.fast_fn
+                self._fastpaths[dp.name] = fn_name
+                body.lines.extend(lines)
+                body.w()
+            if isinstance(dp, StructPlan):
+                self.emit_struct(body, dp)
+            elif isinstance(dp, SwitchPlan):
+                self.emit_switch_union(body, dp)
+            elif isinstance(dp, UnionPlan):
+                self.emit_union(body, dp)
+            elif isinstance(dp, ArrayPlan):
+                self.emit_array(body, dp)
+            elif isinstance(dp, EnumPlan):
+                self.emit_enum(body, dp)
+            elif isinstance(dp, TypedefPlan):
+                self.emit_typedef(body, dp)
+            self.emit_tool_surface(body, dp)
 
         self._emit_preamble(w)
         for line in self._consts:
@@ -340,7 +315,7 @@ class Emitter:
         w.w("from repro.core.io import Source")
         w.w("from repro.core.masks import Mask, MaskFlag, P_CheckAndSet")
         w.w("from repro.core.values import DateVal, EnumVal, FloatVal, Rec, UnionVal")
-        w.w("from repro.core.basetypes.base import resolve_base_type as _resolve")
+        w.w("from repro.plan import resolve_base as _resolve")
         w.w("from repro.core.basetypes.strings import RegexMatchString as _RegexME")
         w.w("from repro.expr.runtime import cdiv as _cdiv, cmod as _cmod, "
             "getmember as _member, builtins_table as _B")
@@ -387,18 +362,18 @@ class Emitter:
         for line in src.split("\n"):
             w.w(line)
 
-    def params_sig(self, decl: D.Decl) -> str:
+    def params_sig(self, decl: DeclPlan) -> str:
         return "".join(f", p_{p}" for _, p in decl.params)
 
-    def params_scope(self, decl: D.Decl) -> Dict[str, str]:
+    def params_scope(self, decl: DeclPlan) -> Dict[str, str]:
         return {p: f"p_{p}" for _, p in decl.params}
 
-    def _mask_param(self, decl: D.Decl) -> str:
+    def _mask_param(self, decl: DeclPlan) -> str:
         # A required `mask` cannot be defaulted when value parameters
         # follow it positionally.
         return "mask" if decl.params else "mask=None"
 
-    def _emit_record_wrapper(self, w: _W, decl: D.Decl) -> str:
+    def _emit_record_wrapper(self, w: _W, decl: DeclPlan) -> str:
         """For Precord types, the public parse wraps an inner body."""
         name = decl.name
         sig = self.params_sig(decl)
@@ -433,7 +408,7 @@ class Emitter:
         w.w()
         return f"_{name}_body"
 
-    def _parse_header(self, w: _W, decl: D.Decl) -> str:
+    def _parse_header(self, w: _W, decl: DeclPlan) -> str:
         """Emit the def line for the parse function; returns its name."""
         if decl.is_record:
             inner = self._emit_record_wrapper(w, decl)
@@ -445,10 +420,13 @@ class Emitter:
 
     # -- Pstruct ------------------------------------------------------------------
 
-    def emit_struct(self, w: _W, decl: D.StructDecl) -> None:
+    def emit_struct(self, w: _W, decl: StructPlan) -> None:
         name = decl.name
         scope = self.params_scope(decl)
-        fn = self._parse_header(w, decl)
+        self._parse_header(w, decl)
+        runs: Dict[int, tuple] = {}
+        if self.fastpath:
+            runs = {start: (end, raw) for start, end, raw in decl.fused_runs}
         with _Indent(w):
             if not decl.is_record:
                 w.w(f'"""Parse one {name}."""')
@@ -457,17 +435,33 @@ class Emitter:
             w.w("_panic = False")
             w.w("_skip = 0")
             members = decl.items
-            for i, item in enumerate(members):
+            i = 0
+            run_id = 0
+            while i < len(members):
+                if i in runs:
+                    end, raw = runs[i]
+                    run_id += 1
+                    flag = f"_lrun{run_id}"
+                    raw_c = self.const(repr(raw))
+                    w.w(f"# fused literal run: members {i}..{end}")
+                    w.w(f"{flag} = (not _panic and _skip == 0) "
+                        f"and src.match_bytes({raw_c})")
+                    with w.block(f"if not {flag}:"):
+                        for j in range(i, end + 1):
+                            self._emit_struct_member(w, decl, members, j, scope)
+                    i = end + 1
+                    continue
                 self._emit_struct_member(w, decl, members, i, scope)
+                i += 1
             # Build the rep.
             field_args = ", ".join(
                 f"{f.name}=v_{f.name}" for f in members
-                if isinstance(f, (D.DataField, D.ComputeField)))
+                if isinstance(f, (DataItem, ComputeItem)))
             w.w(f"rep = Rec({field_args})")
             if decl.where is not None:
                 wscope = dict(scope)
                 for f in members:
-                    if isinstance(f, (D.DataField, D.ComputeField)):
+                    if isinstance(f, (DataItem, ComputeItem)):
                         wscope[f.name] = f"v_{f.name}"
                 with w.block("if (int(mask.level) & 4) and pd.nerr == 0:"):
                     self._emit_bool_check(w, decl.where, wscope,
@@ -490,22 +484,21 @@ class Emitter:
             w.w(on_fail)
 
     def _next_literal_info(self, members, i: int):
-        """(block_distance, literal_spec) for the next scannable literal."""
+        """(block_distance, literal plan) for the next scannable literal."""
         for j in range(i + 1, len(members)):
             item = members[j]
-            if isinstance(item, D.LiteralField) and \
-                    item.literal.kind in ("char", "string"):
+            if isinstance(item, LitItem) and item.literal.scannable:
                 return j - i, item.literal
         return None
 
-    def _emit_struct_member(self, w: _W, decl: D.StructDecl, members,
+    def _emit_struct_member(self, w: _W, decl: StructPlan, members,
                             i: int, scope: Dict[str, str]) -> None:
         item = members[i]
         w.w(f"# member {i}: {_member_label(item)}")
-        if isinstance(item, D.LiteralField):
+        if isinstance(item, LitItem):
             lit = item.literal
             if lit.kind in ("char", "string"):
-                raw_bytes = self.lit_bytes(lit.value)
+                raw_bytes = lit.raw
                 raw = self.const(repr(raw_bytes))
                 with w.block("if _skip > 0:"):
                     w.w("_skip -= 1")
@@ -523,8 +516,7 @@ class Emitter:
                         with w.block(f"if not _lit_resync(src, pd, {raw}, _lstart):"):
                             w.w("_panic = True")
             elif lit.kind == "regex":
-                rx = self.const(f"__import__('re').compile("
-                                f"{self.lit_bytes(lit.value)!r})")
+                rx = self.const(f"__import__('re').compile({lit.raw!r})")
                 with w.block("if _skip > 0:"):
                     w.w("_skip -= 1")
                 with w.block("elif not _panic:"):
@@ -547,7 +539,7 @@ class Emitter:
                     w.w("_panic = True")
             return
 
-        if isinstance(item, D.ComputeField):
+        if isinstance(item, ComputeItem):
             with w.block("if _panic or _skip > 0:"):
                 w.w("_skip = _skip - 1 if _skip > 0 else _skip")
                 w.w(f"v_{item.name} = None")
@@ -569,7 +561,7 @@ class Emitter:
             scope[item.name] = f"v_{item.name}"
             return
 
-        assert isinstance(item, D.DataField)
+        assert isinstance(item, DataItem)
         fname = item.name
         default = self.use_default_expr(item.type, scope)
         with w.block("if _panic or _skip > 0:"):
@@ -598,7 +590,7 @@ class Emitter:
                 nxt = self._next_literal_info(members, i)
                 if nxt is not None:
                     distance, lit = nxt
-                    raw = self.const(repr(self.lit_bytes(lit.value)))
+                    raw = self.const(repr(lit.raw))
                     with w.block(f"if _skip_to_lit(src, {raw}):"):
                         w.w(f"_skip = {distance}")
                     with w.block("else:"):
@@ -627,7 +619,7 @@ class Emitter:
                 w.w("_outer.append(DISCIPLINE.header(_content) + _content + "
                     "DISCIPLINE.trailer(_content))")
 
-    def _emit_struct_write(self, w: _W, decl: D.StructDecl) -> None:
+    def _emit_struct_write(self, w: _W, decl: StructPlan) -> None:
         name = decl.name
         scope = self.params_scope(decl)
         with w.block(f"def {name}_write(rep, out{self.params_sig(decl)}):"):
@@ -637,18 +629,18 @@ class Emitter:
             self._emit_record_write_epilogue(w, decl.is_record)
         w.w()
 
-    def _struct_write_body(self, w: _W, decl: D.StructDecl,
+    def _struct_write_body(self, w: _W, decl: StructPlan,
                            scope: Dict[str, str]) -> None:
         scope = dict(scope)
         for item in decl.items:
-            if isinstance(item, D.LiteralField):
+            if isinstance(item, LitItem):
                 lit = item.literal
                 if lit.kind in ("char", "string"):
-                    raw = self.const(repr(self.lit_bytes(lit.value)))
+                    raw = self.const(repr(lit.raw))
                     w.w(f"out.append({raw})")
                 elif lit.kind == "regex":
                     w.w("raise ValueError('cannot write a regex literal')")
-            elif isinstance(item, D.ComputeField):
+            elif isinstance(item, ComputeItem):
                 scope[item.name] = f"rep.{item.name}"
             else:
                 w.w(f"v_{item.name} = rep.{item.name}")
@@ -657,7 +649,7 @@ class Emitter:
         if not decl.items:
             w.w("pass")
 
-    def _emit_struct_verify(self, w: _W, decl: D.StructDecl) -> None:
+    def _emit_struct_verify(self, w: _W, decl: StructPlan) -> None:
         name = decl.name
         scope = self.params_scope(decl)
         with w.block(f"def {name}_verify(rep{self.params_sig(decl)}):"):
@@ -665,14 +657,14 @@ class Emitter:
                 '(Figure 7\'s entry_t_verify)."""')
             scope = dict(scope)
             for item in decl.items:
-                if isinstance(item, D.LiteralField):
+                if isinstance(item, LitItem):
                     continue
                 with w.block("try:"):
                     w.w(f"v_{item.name} = rep.{item.name}")
                 with w.block("except AttributeError:"):
                     w.w("return False")
                 scope[item.name] = f"v_{item.name}"
-                if isinstance(item, D.DataField):
+                if isinstance(item, DataItem):
                     self.emit_use_verify(w, item.type, f"v_{item.name}", scope)
                 if item.constraint is not None:
                     self._emit_bool_check(w, item.constraint, scope,
@@ -682,16 +674,16 @@ class Emitter:
             w.w("return True")
         w.w()
 
-    def _emit_struct_default(self, w: _W, decl: D.StructDecl) -> None:
+    def _emit_struct_default(self, w: _W, decl: StructPlan) -> None:
         name = decl.name
         scope = self.params_scope(decl)
         with w.block(f"def {name}_default({self.params_sig(decl).lstrip(', ')}):"):
             scope = dict(scope)
             args = []
             for item in decl.items:
-                if isinstance(item, D.LiteralField):
+                if isinstance(item, LitItem):
                     continue
-                if isinstance(item, D.ComputeField):
+                if isinstance(item, ComputeItem):
                     w.w(f"v_{item.name} = None")
                 else:
                     w.w(f"v_{item.name} = {self.use_default_expr(item.type, scope)}")
@@ -702,10 +694,10 @@ class Emitter:
 
     # -- Punion ----------------------------------------------------------------------
 
-    def emit_union(self, w: _W, decl: D.UnionDecl) -> None:
+    def emit_union(self, w: _W, decl: UnionPlan) -> None:
         name = decl.name
         scope = self.params_scope(decl)
-        fn = self._parse_header(w, decl)
+        self._parse_header(w, decl)
         with _Indent(w):
             if not decl.is_record:
                 w.w(f'"""Parse one {name} (first branch that parses without '
@@ -739,10 +731,10 @@ class Emitter:
         self._emit_union_verify(w, decl)
         self._emit_union_default(w, decl, decl.branches[0])
 
-    def emit_switch_union(self, w: _W, decl: D.UnionDecl) -> None:
+    def emit_switch_union(self, w: _W, decl: SwitchPlan) -> None:
         name = decl.name
         scope = self.params_scope(decl)
-        fn = self._parse_header(w, decl)
+        self._parse_header(w, decl)
         cases = decl.cases
         default_idx = next((k for k, c in enumerate(cases) if c.value is None), -1)
         with _Indent(w):
@@ -753,7 +745,7 @@ class Emitter:
             w.w("pd = Pd()")
             w.w("_case = None")
             with w.block("try:"):
-                w.w(f"_sel = {self.cexpr(decl.switch, scope)}")
+                w.w(f"_sel = {self.cexpr(decl.selector, scope)}")
             with w.block("except Exception:"):
                 w.w("_case = -1")
             with w.block("if _case is None:"):
@@ -773,30 +765,29 @@ class Emitter:
                     "panic=True)")
                 w.w("return UnionVal('<none>', None), pd")
             for k, case in enumerate(cases):
-                f = case.field
                 with w.block(f"if _case == {k}:"):
-                    w.w(f"_cm = mask.for_field({f.name!r})")
-                    self.emit_use_parse(w, f.type, "_cm", "_cv", "_cpd", scope)
+                    w.w(f"_cm = mask.for_field({case.name!r})")
+                    self.emit_use_parse(w, case.type, "_cm", "_cv", "_cpd", scope)
                     w.w("pd.branch = _cpd")
-                    w.w(f"pd.tag = {f.name!r}")
+                    w.w(f"pd.tag = {case.name!r}")
                     w.w("pd.absorb(_cpd)")
-                    if f.constraint is not None:
+                    if case.constraint is not None:
                         cscope = dict(scope)
-                        cscope[f.name] = "_cv"
+                        cscope[case.name] = "_cv"
                         with w.block("if (mask.bits & 4) and _cpd.nerr == 0:"):
                             self._emit_bool_check(
-                                w, f.constraint, cscope,
+                                w, case.constraint, cscope,
                                 "pd.record_error(ErrCode."
                                 "USER_CONSTRAINT_VIOLATION, src.here())")
-                    w.w(f"return UnionVal({f.name!r}, _cv), pd")
+                    w.w(f"return UnionVal({case.name!r}, _cv), pd")
             w.w("pd.record_error(ErrCode.SWITCH_NO_CASE, src.here(), panic=True)")
             w.w("return UnionVal('<none>', None), pd")
         w.w()
-        self._emit_union_write(w, decl, [c.field for c in cases])
+        self._emit_union_write(w, decl, cases)
         self._emit_switch_verify(w, decl)
-        self._emit_union_default(w, decl, cases[0].field)
+        self._emit_union_default(w, decl, cases[0])
 
-    def _emit_union_write(self, w: _W, decl: D.UnionDecl, branches) -> None:
+    def _emit_union_write(self, w: _W, decl: DeclPlan, branches) -> None:
         name = decl.name
         scope = self.params_scope(decl)
         with w.block(f"def {name}_write(rep, out{self.params_sig(decl)}):"):
@@ -811,7 +802,7 @@ class Emitter:
             w.w(f"raise ValueError('unknown union branch %r for {name}' % (rep.tag,))")
         w.w()
 
-    def _emit_union_verify(self, w: _W, decl: D.UnionDecl) -> None:
+    def _emit_union_verify(self, w: _W, decl: UnionPlan) -> None:
         name = decl.name
         scope = self.params_scope(decl)
         with w.block(f"def {name}_verify(rep{self.params_sig(decl)}):"):
@@ -828,7 +819,7 @@ class Emitter:
             w.w("return False")
         w.w()
 
-    def _emit_switch_verify(self, w: _W, decl: D.UnionDecl) -> None:
+    def _emit_switch_verify(self, w: _W, decl: SwitchPlan) -> None:
         name = decl.name
         scope = self.params_scope(decl)
         cases = decl.cases
@@ -836,7 +827,7 @@ class Emitter:
         with w.block(f"def {name}_verify(rep{self.params_sig(decl)}):"):
             w.w("_case = None")
             with w.block("try:"):
-                w.w(f"_sel = {self.cexpr(decl.switch, scope)}")
+                w.w(f"_sel = {self.cexpr(decl.selector, scope)}")
             with w.block("except Exception:"):
                 w.w("return False")
             for k, case in enumerate(cases):
@@ -853,18 +844,16 @@ class Emitter:
             with w.block("if _case == -1:"):
                 w.w("return False")
             for k, case in enumerate(cases):
-                f = case.field
                 with w.block(f"if _case == {k}:"):
-                    with w.block(f"if rep.tag != {f.name!r}:"):
+                    with w.block(f"if rep.tag != {case.name!r}:"):
                         w.w("return False")
                     w.w("_v = rep.value")
-                    self.emit_use_verify(w, f.type, "_v", dict(scope))
+                    self.emit_use_verify(w, case.type, "_v", dict(scope))
                     w.w("return True")
             w.w("return False")
         w.w()
 
-    def _emit_union_default(self, w: _W, decl: D.UnionDecl,
-                            first: D.DataField) -> None:
+    def _emit_union_default(self, w: _W, decl: DeclPlan, first) -> None:
         name = decl.name
         scope = self.params_scope(decl)
         with w.block(f"def {name}_default({self.params_sig(decl).lstrip(', ')}):"):
@@ -874,41 +863,39 @@ class Emitter:
 
     # -- Parray ---------------------------------------------------------------------
 
-    def _term_check_expr(self, decl: D.ArrayDecl) -> Optional[str]:
+    def _term_check_expr(self, decl: ArrayPlan) -> Optional[str]:
         term = decl.term
         if term is None:
             return None
         if term.kind in ("char", "string"):
-            raw_bytes = self.lit_bytes(term.value)
+            raw_bytes = term.raw
             if len(raw_bytes) == 1:
                 return f"src.first_byte() == {raw_bytes[0]}"
             raw = self.const(repr(raw_bytes))
             return f"src.peek({len(raw_bytes)}) == {raw}"
         if term.kind == "regex":
-            rx = self.const(f"__import__('re').compile("
-                            f"{self.lit_bytes(term.value)!r})")
+            rx = self.const(f"__import__('re').compile({term.raw!r})")
             return f"{rx}.match(src.scope_bytes()) is not None"
         if term.kind == "eor":
             return "src.at_end()"
         return "src.at_eof()"
 
-    def emit_array(self, w: _W, decl: D.ArrayDecl) -> None:
+    def emit_array(self, w: _W, decl: ArrayPlan) -> None:
         name = decl.name
         scope = self.params_scope(decl)
         ascope = dict(scope)
         ascope["elts"] = "elts"
         ascope["length"] = "_length"
-        fn = self._parse_header(w, decl)
+        self._parse_header(w, decl)
         sep_raw = None
         if decl.sep is not None and decl.sep.kind in ("char", "string"):
-            sep_raw = self.const(repr(self.lit_bytes(decl.sep.value)))
+            sep_raw = self.const(repr(decl.sep.raw))
         sep_rx = None
         if decl.sep is not None and decl.sep.kind == "regex":
-            sep_rx = self.const(f"__import__('re').compile("
-                                f"{self.lit_bytes(decl.sep.value)!r})")
+            sep_rx = self.const(f"__import__('re').compile({decl.sep.raw!r})")
         term_raw = "None"
         if decl.term is not None and decl.term.kind in ("char", "string"):
-            term_raw = self.const(repr(self.lit_bytes(decl.term.value)))
+            term_raw = self.const(repr(decl.term.raw))
         term_check = self._term_check_expr(decl)
 
         with _Indent(w):
@@ -952,7 +939,7 @@ class Emitter:
                 if decl.sep is not None:
                     with w.block("if not _first:"):
                         if sep_raw is not None:
-                            sep_bytes = self.lit_bytes(decl.sep.value)
+                            sep_bytes = decl.sep.raw
                             if len(sep_bytes) == 1:
                                 with w.block(f"if src.first_byte() == {sep_bytes[0]}:"):
                                     w.w("src.pos += 1")
@@ -970,14 +957,14 @@ class Emitter:
                 w.w("_before = src.pos")
                 if decl.longest:
                     w.w("_ast = src.mark()")
-                    self.emit_use_parse(w, decl.elt_type, "_em", "_ev", "_epd",
+                    self.emit_use_parse(w, decl.elt, "_em", "_ev", "_epd",
                                         dict(ascope))
                     with w.block("if _epd.nerr > 0:"):
                         w.w("src.restore(_ast)")
                         w.w("break")
                     w.w("src.commit(_ast)")
                 else:
-                    self.emit_use_parse(w, decl.elt_type, "_em", "_ev", "_epd",
+                    self.emit_use_parse(w, decl.elt, "_em", "_ev", "_epd",
                                         dict(ascope))
                 with w.block("if _epd.nerr > 0:"):
                     w.w("pd.neerr += 1")
@@ -1022,7 +1009,7 @@ class Emitter:
             w.w("return []")
         w.w()
 
-    def _emit_array_write(self, w: _W, decl: D.ArrayDecl) -> None:
+    def _emit_array_write(self, w: _W, decl: ArrayPlan) -> None:
         name = decl.name
         scope = self.params_scope(decl)
         with w.block(f"def {name}_write(rep, out{self.params_sig(decl)}):"):
@@ -1030,14 +1017,14 @@ class Emitter:
             self._emit_record_write_prologue(w, decl.is_record)
             with w.block("for _i, _v in enumerate(rep):"):
                 if decl.sep is not None and decl.sep.kind in ("char", "string"):
-                    raw = self.const(repr(self.lit_bytes(decl.sep.value)))
+                    raw = self.const(repr(decl.sep.raw))
                     with w.block("if _i:"):
                         w.w(f"out.append({raw})")
-                self.emit_use_write(w, decl.elt_type, "_v", dict(scope))
+                self.emit_use_write(w, decl.elt, "_v", dict(scope))
             self._emit_record_write_epilogue(w, decl.is_record)
         w.w()
 
-    def _emit_array_verify(self, w: _W, decl: D.ArrayDecl) -> None:
+    def _emit_array_verify(self, w: _W, decl: ArrayPlan) -> None:
         name = decl.name
         scope = self.params_scope(decl)
         ascope = dict(scope)
@@ -1058,7 +1045,7 @@ class Emitter:
             with w.block("for _v in rep:"):
                 sub = _W()
                 sub.depth = w.depth
-                self.emit_use_verify(sub, decl.elt_type, "_v", dict(scope))
+                self.emit_use_verify(sub, decl.elt, "_v", dict(scope))
                 if sub.lines:
                     w.lines.extend(sub.lines)
                 else:
@@ -1070,47 +1057,42 @@ class Emitter:
 
     # -- Penum ----------------------------------------------------------------------
 
-    def emit_enum(self, w: _W, decl: D.EnumDecl) -> None:
+    def emit_enum(self, w: _W, decl: EnumPlan) -> None:
         name = decl.name
-        items = []
-        for pos, item in enumerate(decl.items):
-            code = item.value if item.value is not None else pos
-            phys = item.physical if item.physical is not None else item.name
-            items.append((item.name, code, phys))
-        ordered = sorted(items, key=lambda it: -len(it[2]))
-        fn = self._parse_header(w, decl)
+        items = decl.items
+        self._parse_header(w, decl)
         with _Indent(w):
             if not decl.is_record:
                 w.w(f'"""Parse one {name} literal (longest spelling wins)."""')
                 w.w("if mask is None: mask = Mask(P_CheckAndSet)")
             w.w("pd = Pd()")
-            for lit, code, phys in ordered:
-                raw = self.const(repr(phys.encode(self.encoding)))
+            for item in decl.ordered:
+                raw = self.const(repr(item.raw))
                 with w.block(f"if src.match_bytes({raw}):"):
-                    w.w(f"return E_{lit}, pd")
+                    w.w(f"return E_{item.name}, pd")
             w.w("pd.record_error(ErrCode.INVALID_ENUM, src.here())")
-            w.w(f"return E_{items[0][0]}, pd")
+            w.w(f"return E_{items[0].name}, pd")
         w.w()
         with w.block(f"def {name}_write(rep, out):"):
-            mapping = {lit: phys for lit, _, phys in items}
+            mapping = {it.name: it.physical for it in items}
             w.w(f"_phys = {mapping!r}.get(str(rep))")
             with w.block("if _phys is None:"):
                 w.w(f"raise ValueError('%r is not a member of {name}' % (rep,))")
             w.w(f"out.append(_phys.encode({self.encoding!r}))")
         w.w()
         with w.block(f"def {name}_verify(rep):"):
-            w.w(f"return str(rep) in {set(lit for lit, _, _ in items)!r}")
+            w.w(f"return str(rep) in {set(it.name for it in items)!r}")
         w.w()
         with w.block(f"def {name}_default():"):
-            w.w(f"return E_{items[0][0]}")
+            w.w(f"return E_{items[0].name}")
         w.w()
 
     # -- Ptypedef --------------------------------------------------------------------
 
-    def emit_typedef(self, w: _W, decl: D.TypedefDecl) -> None:
+    def emit_typedef(self, w: _W, decl: TypedefPlan) -> None:
         name = decl.name
         scope = self.params_scope(decl)
-        fn = self._parse_header(w, decl)
+        self._parse_header(w, decl)
         with _Indent(w):
             if not decl.is_record:
                 w.w(f'"""Parse one {name} (constrained '
@@ -1145,7 +1127,7 @@ class Emitter:
 
     # -- Figure 6 tool surface ----------------------------------------------------------
 
-    def emit_tool_surface(self, w: _W, decl: D.Decl) -> None:
+    def emit_tool_surface(self, w: _W, decl: DeclPlan) -> None:
         name = decl.name
         w.w()
         with w.block(f"def {name}_m_init(flag=P_CheckAndSet):"):
@@ -1226,36 +1208,39 @@ class Emitter:
         w.w()
         w.w("TYPES = {")
         with _Indent(w):
-            for decl in self.desc.decls:
-                if not isinstance(decl, D.Decl):
+            for kind, entry in self.plan.order:
+                if kind != "type":
                     continue
-                n = decl.name
-                params = [p for _, p in decl.params]
+                n = entry.name
+                params = entry.param_names
                 w.w(f"{n!r}: _GenType({n}_parse, {n}_write, {n}_verify, "
-                    f"{n}_default, {params!r}, {decl.is_record!r}),")
+                    f"{n}_default, {params!r}, {entry.is_record!r}),")
         w.w("}")
-        src = self.desc.source
-        w.w(f"SOURCE_TYPE = {src.name!r}" if src is not None else "SOURCE_TYPE = None")
+        src_name = self.plan.source_name
+        w.w(f"SOURCE_TYPE = {src_name!r}" if src_name is not None
+            else "SOURCE_TYPE = None")
 
 
 def _member_label(item) -> str:
-    if isinstance(item, D.LiteralField):
+    if isinstance(item, LitItem):
         return f"literal {item.literal.describe()}"
-    if isinstance(item, D.ComputeField):
+    if isinstance(item, ComputeItem):
         return f"Pcompute {item.name}"
     return f"field {item.name}"
 
 
-def _type_label(texpr: D.TypeExpr) -> str:
-    if isinstance(texpr, D.TypeRef):
-        return texpr.name
-    if isinstance(texpr, D.OptType):
-        return f"Popt {_type_label(texpr.inner)}"
+def _type_label(use: Use) -> str:
+    if isinstance(use, (RefUse, BaseUse)):
+        return use.name
+    if isinstance(use, OptUse):
+        return f"Popt {_type_label(use.inner)}"
     return "Pre"
 
 
 def generate_source(desc: D.Description, ambient: str = "ascii",
                     module_name: str = "pads_generated",
-                    source_text: str = "") -> str:
+                    source_text: str = "", plan: Optional[Plan] = None,
+                    fastpath: bool = True) -> str:
     """Generate a standalone Python module from a checked description."""
-    return Emitter(desc, ambient, module_name, source_text).emit_module()
+    return Emitter(desc, ambient, module_name, source_text, plan,
+                   fastpath).emit_module()

@@ -1,686 +1,20 @@
-"""Record-level fast path: compile a whole record type to one regex.
+"""Compatibility shim: the record fast path now lives in the plan layer.
 
-The paper's Section 9 proposes "partially evaluating the current PADS
-library" to produce application-specific instances.  This module does
-exactly that for the overwhelmingly common case — a uniform mask over a
-``Precord`` type: the record grammar is compiled into a single anchored
-regular expression (using Python 3.11 atomic groups ``(?>...)`` to emulate
-the parser's maximal-munch/ordered-choice commitments) plus a generated
-*converter* that builds the in-memory representation and evaluates the
-semantic constraints.
+The fast-path compiler (one anchored regex or fixed-width slicer per
+eligible ``Precord`` type, paper Section 9's partial-evaluation idea)
+moved to :mod:`repro.plan.fastpath` so that *both* engines share the
+compiled fast functions: the emitter splices them into generated
+modules verbatim, and the interpreter materialises them via
+:func:`repro.plan.runtime.materialize_fast_fns`.
 
-The contract is conservative: the fast path either returns a rep that the
-general parser would have produced **with a clean parse descriptor**, or
-``None`` — in which case the caller re-parses the record with the general
-(error-reporting) parser.  Errors therefore cost one extra parse, while
-clean records — the vast majority in the paper's workloads — run at
-C-regex speed.  ``tests/test_fastpath.py`` property-tests the equivalence.
-
-Eligibility is structural; anything out of scope (switched unions,
-parameterised types, dynamic sizes, mid-record arrays, regex terminators)
-simply keeps the general path.
+Eligibility is decided once per declaration during plan analysis
+(:func:`repro.plan.analyze`); consult ``DeclPlan.verdict`` /
+``DeclPlan.fast_fn`` — or ``padsc plan <desc>`` — instead of calling a
+compiler here.
 """
 
 from __future__ import annotations
 
-import re
-from typing import Dict, List, Optional, Tuple
+from ..plan.fastpath import FastPath, NotEligible, SlicePath, compile_fast
 
-from ..core.basetypes import cobol as _cobol
-from ..core.basetypes import integers as _ints
-from ..core.basetypes import misc as _misc
-from ..core.basetypes import network as _net
-from ..core.basetypes import strings as _strs
-from ..core.basetypes import temporal as _tmp
-from ..core.basetypes.base import resolve_base_type
-from ..dsl import ast as D
-from ..expr import ast as E
-
-_HOST_GUARD = rb"(?![A-Za-z0-9.\-])"
-
-
-class NotEligible(Exception):
-    """Raised (internally) when a construct is outside the fast-path subset."""
-
-
-class _W:
-    def __init__(self, depth: int = 0):
-        self.lines: List[str] = []
-        self.depth = depth
-
-    def w(self, text: str) -> None:
-        self.lines.append("    " * self.depth + text)
-
-    def block(self, header: str):
-        self.w(header)
-        return _I(self)
-
-
-class _I:
-    def __init__(self, w):
-        self.w = w
-
-    def __enter__(self):
-        self.w.depth += 1
-
-    def __exit__(self, *exc):
-        self.w.depth -= 1
-
-
-def _cls(value: bytes) -> bytes:
-    """Escape one byte for use inside a character class."""
-    return re.escape(value)
-
-
-class FastPath:
-    """Compiles one record declaration; ``build()`` returns module source
-    fragments or None when the type is not eligible."""
-
-    def __init__(self, emitter, decl: D.StructDecl):
-        self.em = emitter
-        self.decl = decl
-        self.gid = 0
-        self.tmpid = 0
-        self.aux: List[str] = []  # extra module-level sources
-
-    # -- small helpers ---------------------------------------------------------
-
-    def group(self) -> str:
-        self.gid += 1
-        return f"g{self.gid}"
-
-    def temp(self) -> str:
-        self.tmpid += 1
-        return f"_t{self.tmpid}"
-
-    def enc(self, text: str) -> bytes:
-        return text.encode(self.em.encoding)
-
-    def cexpr(self, expr: E.Expr, scope: Dict[str, str]) -> str:
-        return self.em.cexpr(expr, scope)
-
-    # -- entry point -----------------------------------------------------------
-
-    def build(self) -> Optional[Tuple[str, List[str]]]:
-        """Returns (fast function name, module source lines) or None."""
-        decl = self.decl
-        if decl.params or not isinstance(decl, D.StructDecl):
-            return None
-        w = _W(depth=2)  # inside def + try
-        try:
-            var = self.temp()
-            pattern = self.compile_struct_body(decl.items, decl.where, var,
-                                               w, is_tail=True)
-        except NotEligible:
-            return None
-
-        name = decl.name
-        rx_name = f"_fprx_{name}"
-        fn_name = f"_fp_{name}"
-        full = b"(?s:" + pattern + b")"
-        compiled = re.compile(full)  # fail generation, not import
-        out: List[str] = []
-        out.append(f"{rx_name} = __import__('re').compile({full!r})")
-        out.append(f"def {fn_name}(_line, dosem):")
-        out.append(f'    """Compiled fast path for {name}: one anchored regex '
-                   'plus conversion."""')
-        out.append(f"    _m = {rx_name}.fullmatch(_line)")
-        out.append("    if _m is None:")
-        out.append("        return None")
-        out.append("    _gs = _m.groups()")
-        out.append("    try:")
-        out.extend(_index_groups(w.lines, compiled.groupindex))
-        out.append(f"        return {var}")
-        out.append("    except Exception:")
-        out.append("        return None")
-        out.extend(self.aux)
-        return fn_name, out
-
-    # -- struct ------------------------------------------------------------------
-
-    def compile_struct_body(self, items, where: Optional[E.Expr], var: str,
-                            w: _W, is_tail: bool,
-                            outer_scope: Optional[Dict[str, str]] = None) -> bytes:
-        pattern = b""
-        scope: Dict[str, str] = dict(outer_scope or {})
-        field_vars: List[Tuple[str, str]] = []
-        last_idx = len(items) - 1
-        for i, item in enumerate(items):
-            tail_here = is_tail and i == last_idx
-            if isinstance(item, D.LiteralField):
-                lit = item.literal
-                if lit.kind == "char" or lit.kind == "string":
-                    pattern += re.escape(self.enc(lit.value))
-                elif lit.kind == "eor":
-                    pass  # end-of-record is the fullmatch anchor
-                else:
-                    raise NotEligible(f"literal kind {lit.kind}")
-                continue
-            if isinstance(item, D.ComputeField):
-                fvar = self.temp()
-                w.w(f"{fvar} = {self.cexpr(item.expr, scope)}")
-                scope[item.name] = fvar
-                field_vars.append((item.name, fvar))
-                if item.constraint is not None:
-                    with w.block(f"if dosem and not "
-                                 f"({self.cexpr(item.constraint, scope)}):"):
-                        w.w("return None")
-                continue
-            assert isinstance(item, D.DataField)
-            fvar = self.temp()
-            pattern += self.compile_use(item.type, fvar, w, scope, tail_here)
-            scope[item.name] = fvar
-            field_vars.append((item.name, fvar))
-            if item.constraint is not None:
-                with w.block(f"if dosem and not "
-                             f"({self.cexpr(item.constraint, scope)}):"):
-                    w.w("return None")
-        # Direct construction: adopt a dict literal as the instance dict,
-        # skipping the kwargs-packing __init__ call (~2x faster).
-        entries = ", ".join(f"{n!r}: {v}" for n, v in field_vars)
-        w.w(f"{var} = Rec.__new__(Rec)")
-        w.w(f"{var}.__dict__ = {{{entries}}}")
-        if where is not None:
-            with w.block(f"if dosem and not ({self.cexpr(where, scope)}):"):
-                w.w("return None")
-        return pattern
-
-    # -- type uses ----------------------------------------------------------------
-
-    def compile_use(self, texpr: D.TypeExpr, var: str, w: _W,
-                    scope: Dict[str, str], is_tail: bool) -> bytes:
-        if isinstance(texpr, D.OptType):
-            return self.compile_opt(texpr, var, w, scope, is_tail)
-        if isinstance(texpr, D.RegexType):
-            return self.compile_regex_type(texpr.pattern, var, w)
-        assert isinstance(texpr, D.TypeRef)
-        name, args = texpr.name, texpr.args
-        if name in self.em.declared:
-            decl = self.em.declared[name]
-            if decl.params or decl.is_record:
-                raise NotEligible(f"nested {name}")
-            return self.compile_decl_use(decl, var, w, scope, is_tail)
-        # Base type: literal parameters only.
-        if not all(isinstance(a, (E.IntLit, E.StrLit, E.CharLit)) for a in args):
-            raise NotEligible(f"dynamic parameters on {name}")
-        inst = resolve_base_type(name, tuple(a.value for a in args),
-                                 self.em.ambient)
-        return self.base_fragment(inst, var, w, capture=True)
-
-    def compile_decl_use(self, decl: D.Decl, var: str, w: _W,
-                         scope: Dict[str, str], is_tail: bool) -> bytes:
-        if isinstance(decl, D.BitfieldsDecl):
-            decl = D.lower_bitfields(decl)
-        if isinstance(decl, D.StructDecl):
-            return self.compile_struct_body(decl.items, decl.where, var, w,
-                                            is_tail)
-        if isinstance(decl, D.UnionDecl):
-            return self.compile_union(decl, var, w, is_tail)
-        if isinstance(decl, D.ArrayDecl):
-            return self.compile_array(decl, var, w, is_tail)
-        if isinstance(decl, D.EnumDecl):
-            return self.compile_enum(decl, var, w)
-        if isinstance(decl, D.TypedefDecl):
-            return self.compile_typedef(decl, var, w, scope, is_tail)
-        raise NotEligible(type(decl).__name__)
-
-    # -- Popt / Punion ---------------------------------------------------------------
-
-    def compile_opt(self, texpr: D.OptType, var: str, w: _W,
-                    scope: Dict[str, str], is_tail: bool) -> bytes:
-        g = self.group()
-        inner = self.temp()
-        sub = _W(w.depth + 1)
-        pattern = self.compile_use(texpr.inner, inner, sub, dict(scope), False)
-        w.w(f"if _m.group({g!r}) is not None:")
-        w.lines.extend(sub.lines)
-        with _I(w):
-            w.w(f"{var} = {inner}")
-        with w.block("else:"):
-            w.w(f"{var} = None")
-        return b"(?:(?P<" + g.encode() + b">" + pattern + b"))?"
-
-    def compile_union(self, decl: D.UnionDecl, var: str, w: _W,
-                      is_tail: bool) -> bytes:
-        if decl.is_switched:
-            raise NotEligible("switched union")
-        alts: List[bytes] = []
-        first = True
-        for br in decl.branches:
-            g = self.group()
-            bvar = self.temp()
-            sub = _W(w.depth + 1)
-            substituted = False
-            lit = _guard_literal(br.constraint, br.name)
-            if lit is not None and isinstance(lit, str):
-                # `branch == 'literal'` guard on a char/string branch:
-                # bake the literal into the pattern.
-                kind = _string_kind(br.type, self.em)
-                if kind is not None:
-                    pattern = b"(?>" + re.escape(self.enc(lit)) + b")"
-                    sub.w(f"{bvar} = {lit!r}")
-                    substituted = True
-            if not substituted:
-                pattern = self.compile_use(br.type, bvar, sub, {}, False)
-                if br.constraint is not None:
-                    # Branch guards steer *selection*; a guard failure means
-                    # the general parser would pick a later branch, so the
-                    # fast path must bail out.
-                    bscope = {br.name: bvar}
-                    sub.w(f"if not ({self.cexpr(br.constraint, bscope)}):")
-                    sub.w("    return None")
-            header = "if" if first else "elif"
-            w.w(f"{header} _m.group({g!r}) is not None:")
-            w.lines.extend(sub.lines)
-            with _I(w):
-                w.w(f"{var} = UnionVal({br.name!r}, {bvar})")
-            alts.append(b"(?P<" + g.encode() + b">" + pattern + b")")
-            first = False
-        with w.block("else:"):
-            w.w("return None")
-        return b"(?>" + b"|".join(alts) + b")"
-
-    # -- Parray ------------------------------------------------------------------------
-
-    def compile_array(self, decl: D.ArrayDecl, var: str, w: _W,
-                      is_tail: bool) -> bytes:
-        if decl.last is not None or decl.ended is not None or decl.longest:
-            raise NotEligible("predicate-terminated array")
-        if decl.sep is not None and (decl.sep.kind != "char"):
-            raise NotEligible("non-char array separator")
-        sep = self.enc(decl.sep.value) if decl.sep is not None else None
-
-        # Tail arrays: Pterm(Peor), no size bounds, last member of the record.
-        if decl.term is not None and decl.term.kind == "eor" and is_tail \
-                and decl.min_size is None and decl.max_size is None:
-            return self._tail_array(decl, sep, var, w)
-
-        # Fixed-count arrays of fixed-width elements (Cobol OCCURS):
-        # one .{k*n} span sliced into k-byte chunks by the converter.
-        if (decl.term is None and decl.sep is None
-                and isinstance(decl.min_size, E.IntLit)
-                and isinstance(decl.max_size, E.IntLit)
-                and decl.min_size.value == decl.max_size.value):
-            return self._fixed_array(decl, decl.min_size.value, var, w)
-        raise NotEligible("array outside the supported forms")
-
-    def _tail_array(self, decl: D.ArrayDecl, sep: Optional[bytes],
-                    var: str, w: _W) -> bytes:
-        g = self.group()
-        # Standalone anchored element regex + converter function.
-        evar = "_ev"
-        sub = _W(2)
-        elt_pattern = self.compile_use(decl.elt_type, evar, sub, {}, False)
-        conv_name = f"_fpelt_{g}"
-        rx_name = f"_fperx_{g}"
-        elt_full = b"(?s:" + elt_pattern + b")"
-        elt_compiled = re.compile(elt_full)
-        self.aux.append(f"{rx_name} = __import__('re').compile({elt_full!r})")
-        self.aux.append(f"def {conv_name}(_m, dosem):")
-        self.aux.append("    _gs = _m.groups()")
-        self.aux.append("    try:")
-        self.aux.extend(_index_groups(sub.lines, elt_compiled.groupindex))
-        self.aux.append(f"        return (True, {evar})")
-        self.aux.append("    except Exception:")
-        self.aux.append("        return (False, None)")
-
-        span_var = self.temp()
-        w.w(f"{span_var} = _m.group({g!r})")
-        w.w(f"{var} = []")
-        with w.block(f"if {span_var}:"):
-            w.w("_apos = 0")
-            w.w(f"_alen = len({span_var})")
-            with w.block("while True:"):
-                w.w(f"_aem = {rx_name}.match({span_var}, _apos)")
-                with w.block("if _aem is None or _aem.end() == _apos and _alen > _apos:"):
-                    w.w("return None")
-                w.w(f"_aok, _aval = {conv_name}(_aem, dosem)")
-                with w.block("if not _aok:"):
-                    w.w("return None")
-                w.w(f"{var}.append(_aval)")
-                w.w("_apos = _aem.end()")
-                with w.block("if _apos >= _alen:"):
-                    w.w("break")
-                if sep is not None:
-                    with w.block(f"if not {span_var}.startswith({sep!r}, _apos):"):
-                        w.w("return None")
-                    w.w(f"_apos += {len(sep)}")
-        if decl.where is not None:
-            ascope = {"elts": var, "length": f"len({var})"}
-            with w.block(f"if dosem and not "
-                         f"({self.cexpr(decl.where, ascope)}):"):
-                w.w("return None")
-        # The span is everything to end-of-record.
-        return b"(?P<" + g.encode() + b">.*)"
-
-    def _fixed_width_base(self, texpr: D.TypeExpr):
-        """The base-type instance and its byte width, when the element is a
-        fixed-width atomic type; None otherwise."""
-        if not isinstance(texpr, D.TypeRef) or texpr.name in self.em.declared:
-            return None
-        if not all(isinstance(a, (E.IntLit, E.StrLit, E.CharLit))
-                   for a in texpr.args):
-            return None
-        try:
-            inst = resolve_base_type(texpr.name,
-                                     tuple(a.value for a in texpr.args),
-                                     self.em.ambient)
-        except Exception:
-            return None
-        if isinstance(inst, (_ints.BinaryInt, _ints.BinaryFloat,
-                             _ints.BinaryRaw, _cobol.PackedDecimal)):
-            return inst, inst.nbytes
-        if isinstance(inst, _cobol.ZonedDecimal):
-            return inst, inst.digits
-        if isinstance(inst, (_strs.FixedString,)):
-            return inst, inst.nchars
-        if isinstance(inst, (_strs.AsciiChar, _strs.EbcdicChar)):
-            return inst, 1
-        if isinstance(inst, _ints.AsciiIntFW):
-            return inst, inst.nchars
-        return None
-
-    def _fixed_array(self, decl: D.ArrayDecl, count: int, var: str,
-                     w: _W) -> bytes:
-        fixed = self._fixed_width_base(decl.elt_type)
-        if fixed is None:
-            raise NotEligible("fixed-count array of variable-width elements")
-        inst, width = fixed
-        if count <= 0:
-            raise NotEligible("empty fixed array")
-        g = self.group()
-        span = self.temp()
-        w.w(f"{span} = _m.group({g!r})")
-        w.w(f"{var} = []")
-        raw = self.temp()
-        with w.block(f"for _ai in range({count}):"):
-            w.w(f"{raw} = {span}[_ai * {width}:(_ai + 1) * {width}]")
-            evar = self.temp()
-            sub = _W(w.depth)
-            self.base_conv(inst, evar, raw, sub)
-            w.lines.extend(sub.lines)
-            w.w(f"{var}.append({evar})")
-        if decl.where is not None:
-            ascope = {"elts": var, "length": f"len({var})"}
-            with w.block(f"if dosem and not "
-                         f"({self.cexpr(decl.where, ascope)}):"):
-                w.w("return None")
-        return (b"(?P<" + g.encode() + b">" +
-                b".{%d}" % (width * count) + b")")
-
-    def base_conv(self, inst, var: str, ref: str, w: _W) -> None:
-        """Conversion code for a fixed-width base type from raw bytes in
-        ``ref`` (used by fixed-array slicing; mirrors base_fragment)."""
-        if isinstance(inst, _ints.BinaryInt):
-            w.w(f"{var} = int.from_bytes({ref}, {inst.byteorder!r}, "
-                f"signed={inst.signed})")
-        elif isinstance(inst, _ints.BinaryRaw):
-            w.w(f"{var} = int.from_bytes({ref}, 'big')")
-        elif isinstance(inst, _ints.BinaryFloat):
-            w.w(f"{var} = __import__('struct').unpack({inst.fmt!r}, {ref})[0]")
-        elif isinstance(inst, _cobol.PackedDecimal):
-            w.w(f"{var} = _fp_packed({ref}, {inst.digits}, {inst.decimals})")
-            with w.block(f"if {var} is None:"):
-                w.w("return None")
-        elif isinstance(inst, _cobol.ZonedDecimal):
-            w.w(f"{var} = _fp_zoned({ref}, {inst.digits}, {inst.decimals})")
-            with w.block(f"if {var} is None:"):
-                w.w("return None")
-        elif isinstance(inst, _strs.FixedString):
-            w.w(f"{var} = {ref}.decode({inst.encoding!r})")
-        elif isinstance(inst, (_strs.AsciiChar,)):
-            w.w(f"{var} = {ref}.decode('latin-1')")
-        elif isinstance(inst, (_strs.EbcdicChar,)):
-            w.w(f"{var} = {ref}.decode('cp037')")
-        elif isinstance(inst, _ints.AsciiIntFW):
-            w.w(f"{var} = int({ref}.decode('ascii', 'replace').strip(), 10)")
-            if not inst.signed:
-                with w.block(f"if {var} < 0:"):
-                    w.w("return None")
-            with w.block(f"if dosem and not "
-                         f"({inst.lo} <= {var} <= {inst.hi}):"):
-                w.w("return None")
-        else:
-            raise NotEligible(type(inst).__name__)
-
-    # -- Penum / Ptypedef ---------------------------------------------------------------
-
-    def compile_enum(self, decl: D.EnumDecl, var: str, w: _W) -> bytes:
-        items = []
-        for pos, item in enumerate(decl.items):
-            code = item.value if item.value is not None else pos
-            phys = item.physical if item.physical is not None else item.name
-            items.append((item.name, code, phys))
-        ordered = sorted(items, key=lambda it: -len(it[2]))
-        g = self.group()
-        map_name = f"_fpenum_{g}"
-        entries = ", ".join(f"{self.enc(phys)!r}: E_{name}"
-                            for name, _, phys in ordered)
-        self.aux.append(f"{map_name} = {{{entries}}}")
-        alternation = b"|".join(re.escape(self.enc(phys))
-                                for _, _, phys in ordered)
-        w.w(f"{var} = {map_name}[_m.group({g!r})]")
-        return b"(?P<" + g.encode() + b">(?>" + alternation + b"))"
-
-    def compile_typedef(self, decl: D.TypedefDecl, var: str, w: _W,
-                        scope: Dict[str, str], is_tail: bool) -> bytes:
-        pattern = self.compile_use(decl.base, var, w, scope, is_tail)
-        if decl.constraint is not None:
-            cscope = {decl.var: var}
-            with w.block(f"if dosem and not "
-                         f"({self.cexpr(decl.constraint, cscope)}):"):
-                w.w("return None")
-        return pattern
-
-    # -- regex-typed fields -------------------------------------------------------------
-
-    def compile_regex_type(self, pattern: str, var: str, w: _W) -> bytes:
-        raw = pattern.encode(self.em.encoding)
-        if b"(" in raw.replace(b"(?:", b"").replace(b"\\(", b""):
-            raise NotEligible("regex field with groups")
-        if re.compile(raw).match(b""):
-            raise NotEligible("regex field matching empty")
-        g = self.group()
-        w.w(f"{var} = _m.group({g!r}).decode({self.em.encoding!r})")
-        return b"(?P<" + g.encode() + b">(?>" + raw + b"))"
-
-    # -- base types -------------------------------------------------------------------------
-
-    def base_fragment(self, inst, var: str, w: _W, capture: bool) -> bytes:
-        g = self.group()
-        ref = f"_m.group({g!r})"
-
-        def grp(body: bytes) -> bytes:
-            return b"(?P<" + g.encode() + b">" + body + b")"
-
-        if isinstance(inst, _ints.AsciiInt):
-            body = b"(?>[-+]?\\d+)" if inst.signed else b"(?>\\d+)"
-            w.w(f"{var} = int({ref})")
-            if inst.lo is not None:
-                with w.block(f"if dosem and not "
-                             f"({inst.lo} <= {var} <= {inst.hi}):"):
-                    w.w("return None")
-            return grp(body)
-
-        if isinstance(inst, _ints.AsciiIntFW):
-            body = b".{%d}" % inst.nchars
-            raw = self.temp()
-            w.w(f"{raw} = {ref}.decode('ascii', 'replace').strip()")
-            w.w(f"{var} = int({raw}, 10)")
-            if not inst.signed:
-                with w.block(f"if {var} < 0:"):
-                    w.w("return None")
-            with w.block(f"if dosem and not ({inst.lo} <= {var} <= {inst.hi}):"):
-                w.w("return None")
-            return grp(body)
-
-        if isinstance(inst, _ints.BinaryInt):
-            body = b".{%d}" % inst.nbytes
-            w.w(f"{var} = int.from_bytes({ref}, {inst.byteorder!r}, "
-                f"signed={inst.signed})")
-            return grp(body)
-
-        if isinstance(inst, _ints.BinaryRaw):
-            body = b".{%d}" % inst.nbytes
-            w.w(f"{var} = int.from_bytes({ref}, 'big')")
-            return grp(body)
-
-        if isinstance(inst, _ints.EbcdicInt):
-            digits = b"[\\xf0-\\xf9]"
-            sign = b"[\\x60\\x4e]?" if inst.signed else b""
-            w.w(f"{var} = int({ref}.decode('cp037'))")
-            with w.block(f"if dosem and not ({inst.lo} <= {var} <= {inst.hi}):"):
-                w.w("return None")
-            return grp(b"(?>" + sign + digits + b"+)")
-
-        if isinstance(inst, _ints.AsciiFloat):
-            body = b"(?>[-+]?(?:\\d+(?:\\.\\d+)?|\\.\\d+)(?:[eE][-+]?\\d+)?)"
-            w.w(f"{var} = FloatVal(float({ref}), {ref}.decode('ascii'))")
-            return grp(body)
-
-        if isinstance(inst, _ints.BinaryFloat):
-            body = b".{%d}" % inst.nbytes
-            w.w(f"{var} = __import__('struct').unpack({inst.fmt!r}, {ref})[0]")
-            return grp(body)
-
-        if isinstance(inst, _strs.AsciiChar) or isinstance(inst, _strs.EbcdicChar):
-            codec = "cp037" if isinstance(inst, _strs.EbcdicChar) else "latin-1"
-            w.w(f"{var} = {ref}.decode({codec!r})")
-            return grp(b".")
-
-        if isinstance(inst, _strs.TerminatedString):
-            cls = b"[^" + _cls(inst.term) + b"]"
-            w.w(f"{var} = {ref}.decode({inst.encoding!r})")
-            return grp(b"(?>" + cls + b"*)")
-
-        if isinstance(inst, _strs.FixedString):
-            w.w(f"{var} = {ref}.decode({inst.encoding!r})")
-            return grp(b".{%d}" % inst.nchars)
-
-        if isinstance(inst, _strs.RegexMatchString):
-            raw = inst.pattern.encode("latin-1")
-            if b"(" in raw.replace(b"(?:", b"").replace(b"\\(", b""):
-                raise NotEligible("regex base with groups")
-            if re.compile(raw).match(b""):
-                raise NotEligible("regex base matching empty")
-            w.w(f"{var} = {ref}.decode('latin-1')")
-            return grp(b"(?>" + raw + b")")
-
-        if isinstance(inst, _strs.RestOfRecord):
-            w.w(f"{var} = {ref}.decode('latin-1')")
-            return grp(b"(?>.*)")
-
-        if isinstance(inst, _tmp.AsciiDate):
-            if inst.term is not None:
-                body = b"(?>[^" + _cls(inst.term) + b"]*)"
-            else:
-                body = b"(?>.*)"
-            raw = self.temp()
-            w.w(f"{raw} = {ref}.decode({inst.encoding!r})")
-            w.w(f"{var} = _fp_parse_date({raw})")
-            with w.block(f"if {var} is None:"):
-                w.w("return None")
-            return grp(body)
-
-        if isinstance(inst, _tmp.EpochSeconds):
-            w.w(f"{var} = DateVal(int({ref}), {ref}.decode('ascii'))")
-            return grp(b"(?>\\d+)")
-
-        if isinstance(inst, _net.Ipv4):
-            body = (b"(?>\\d{1,3}\\.\\d{1,3}\\.\\d{1,3}\\.\\d{1,3})"
-                    + _HOST_GUARD)
-            w.w(f"{var} = {ref}.decode('ascii')")
-            with w.block(f"if any(int(_o) > 255 for _o in {var}.split('.')):"):
-                w.w("return None")
-            return grp(body)
-
-        if isinstance(inst, _net.Hostname):
-            body = b"(?>[A-Za-z0-9.\\-]+)" + _HOST_GUARD
-            w.w(f"{var} = {ref}.decode('ascii')")
-            with w.block(f"if not any(_c.isalpha() for _c in {var}) or "
-                         f"{var}.startswith('.') or {var}.endswith('.'):"):
-                w.w("return None")
-            return grp(body)
-
-        if isinstance(inst, _net.ZipCode):
-            body = b"(?>\\d{5}(?:-\\d{4})?(?!\\d))"
-            w.w(f"{var} = {ref}.decode('ascii')")
-            return grp(body)
-
-        if isinstance(inst, _net.PhoneNumber):
-            w.w(f"{var} = int({ref})")
-            with w.block(f"if dosem and len({ref}) not in (1, 10):"):
-                w.w("return None")
-            return grp(b"(?>\\d+)")
-
-        if isinstance(inst, _cobol.PackedDecimal):
-            w.w(f"{var} = _fp_packed({ref}, {inst.digits}, {inst.decimals})")
-            with w.block(f"if {var} is None:"):
-                w.w("return None")
-            return grp(b".{%d}" % inst.nbytes)
-
-        if isinstance(inst, _cobol.ZonedDecimal):
-            w.w(f"{var} = _fp_zoned({ref}, {inst.digits}, {inst.decimals})")
-            with w.block(f"if {var} is None:"):
-                w.w("return None")
-            return grp(b".{%d}" % inst.digits)
-
-        if isinstance(inst, _misc.Empty):
-            w.w(f"{var} = None")
-            return b""
-
-        raise NotEligible(type(inst).__name__)
-
-
-_GROUP_REF = re.compile(r"_m\.group\('(g\d+)'\)")
-
-
-def _index_groups(lines: List[str], groupindex: Dict[str, int]) -> List[str]:
-    """Rewrite ``_m.group('gk')`` references to positional ``_gs[i]``
-    tuple indexing — one C-level ``groups()`` call per record instead of a
-    named lookup per field."""
-
-    def repl(m: "re.Match") -> str:
-        return f"_gs[{groupindex[m.group(1)] - 1}]"
-
-    return [_GROUP_REF.sub(repl, line) for line in lines]
-
-
-def _guard_literal(constraint: Optional[E.Expr], name: str):
-    """Value of an equality-with-literal branch guard, else None."""
-    if constraint is None or not isinstance(constraint, E.Binary) \
-            or constraint.op != "==":
-        return None
-    for a, b in ((constraint.left, constraint.right),
-                 (constraint.right, constraint.left)):
-        if isinstance(a, E.Name) and a.ident == name and \
-                isinstance(b, (E.StrLit, E.CharLit)):
-            return b.value
-    return None
-
-
-def _string_kind(texpr: D.TypeExpr, emitter) -> Optional[str]:
-    """'char'/'string' when the branch type's value is its own spelling."""
-    if not isinstance(texpr, D.TypeRef) or texpr.name in emitter.declared:
-        return None
-    if texpr.args and not all(isinstance(a, (E.IntLit, E.StrLit, E.CharLit))
-                              for a in texpr.args):
-        return None
-    try:
-        inst = resolve_base_type(texpr.name,
-                                 tuple(a.value for a in texpr.args),
-                                 emitter.ambient)
-    except Exception:
-        return None
-    if isinstance(inst, (_strs.AsciiChar, _strs.EbcdicChar)):
-        return "char"
-    if isinstance(inst, (_strs.TerminatedString, _strs.FixedString)):
-        return "string"
-    return None
-
-
-def try_fastpath(emitter, decl) -> Optional[Tuple[str, List[str]]]:
-    """Build the fast path for a Precord struct declaration, or None."""
-    if not isinstance(decl, D.StructDecl) or not decl.is_record or decl.params:
-        return None
-    return FastPath(emitter, decl).build()
+__all__ = ["FastPath", "SlicePath", "NotEligible", "compile_fast"]

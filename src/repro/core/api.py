@@ -59,6 +59,11 @@ class CompiledDescription:
     def source_type(self) -> str:
         return self.bound.source_name
 
+    @property
+    def plan(self):
+        """The analyzed plan IR the description was bound from."""
+        return self.bound.plan
+
     def node(self, name: Optional[str] = None) -> PType:
         if name is None:
             return self.bound.source_node
@@ -224,13 +229,16 @@ def compile_description(text: str, *, ambient: str = "ascii",
                         discipline: Optional[RecordDiscipline] = None,
                         filename: str = "<description>",
                         check: bool = True,
+                        fastpath: bool = True,
                         base_type_files: Optional[list] = None) -> CompiledDescription:
-    """Parse, typecheck and bind a PADS description.
+    """Parse, typecheck, analyze and bind a PADS description.
 
     ``ambient`` selects the ambient coding ('ascii', 'binary', 'ebcdic');
     ``discipline`` the record discipline (newline-terminated by default,
-    as in the paper); ``base_type_files`` lists user base-type
-    specification files to load first (paper Section 6).
+    as in the paper); ``fastpath`` disables the plan-compiled record
+    fast functions (reference mode for differential testing);
+    ``base_type_files`` lists user base-type specification files to load
+    first (paper Section 6).
     """
     if base_type_files:
         from .basetypes.userdef import load_base_type_files
@@ -238,7 +246,7 @@ def compile_description(text: str, *, ambient: str = "ascii",
     desc = parse_description(text, filename)
     if check:
         check_description(desc, ambient)
-    bound = bind_description(desc, ambient)
+    bound = bind_description(desc, ambient, fastpath=fastpath)
     return CompiledDescription(bound, discipline, source_text=text)
 
 

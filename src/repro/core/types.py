@@ -45,6 +45,9 @@ class PType:
 
     name: str = "<anonymous>"
     kind: str = "type"
+    #: The plan-IR node this runtime node was bound from (set by
+    #: :mod:`repro.core.binding`); tools read analyzed facts through it.
+    plan: Optional[object] = None
 
     def parse(self, src: Source, mask: Mask, env: Env) -> Tuple[object, Pd]:
         raise NotImplementedError
@@ -250,6 +253,13 @@ class StructNode(PType):
 
     kind = "struct"
 
+    #: Fused literal runs from the plan's literal-prefix fusion pass:
+    #: ``{start index: (end index, concatenated bytes)}`` over ``fields``.
+    #: ``Source.match_bytes`` consumes only on success, so a fused miss
+    #: falls back to the per-literal code (and its resync behavior) at an
+    #: unchanged cursor.
+    fused: Dict[int, Tuple[int, bytes]] = {}
+
     def __init__(self, name: str, fields: Sequence[StructField],
                  where: Optional[E.Expr] = None):
         self.name = name
@@ -275,8 +285,15 @@ class StructNode(PType):
         # disabled is a single local ``is None`` test.
         tracer = observe.current_tracer()
 
+        fused = self.fused
+
         i = 0
         while i < len(self.fields):
+            if not panicked and i in fused:
+                end, raw = fused[i]
+                if src.match_bytes(raw):
+                    i = end + 1
+                    continue
             f = self.fields[i]
             if panicked:
                 if f.kind == "data":
@@ -1170,6 +1187,11 @@ class RecordNode(PType):
 
     kind = "record"
 
+    #: Plan-compiled fast function (set by the binder when the plan's
+    #: verdict is eligible): ``fn(record_bytes, do_sem) -> rep | None``.
+    #: ``None`` means "not this fast way" — the general parser re-parses.
+    fast_fn: Optional[Callable] = None
+
     def __init__(self, inner: PType):
         self.inner = inner
         self.name = inner.name
@@ -1182,6 +1204,17 @@ class RecordNode(PType):
             pd = Pd()
             pd.record_error(ErrCode.AT_EOF, src.here(), panic=True)
             return self.inner.default(env), pd
+        fast = self.fast_fn
+        if (fast is not None and (mask.bits & 1) and not mask.fields
+                and mask.compound_level is None and mask.elts is None
+                and observe.current_tracer() is None):
+            rep = fast(src.record_bytes(), (mask.bits & 4) != 0)
+            if rep is not None:
+                # Clean record: empty descriptor, identical to the general
+                # parse (clean children are omitted from descriptors).
+                src.pos = src.rec_end
+                src.end_record()
+                return rep, Pd()
         rep, pd = self.inner.parse(src, mask, env)
         if not src.at_eor() and mask.do_syn and pd.nerr == 0:
             pd.record_error(ErrCode.EXTRA_DATA_AT_EOR, src.here())

@@ -1,0 +1,29 @@
+"""The single ambient-coding table (paper Section 3.1).
+
+A PADS description is interpreted relative to an *ambient coding* —
+ASCII, EBCDIC or raw binary — which selects both the base-type aliases
+(``Pint`` means ``Pa_int`` under ASCII, ``Pe_int`` under EBCDIC) and the
+character encoding used for literals and enum spellings.  Every engine
+and tool used to carry its own copy of this table; it now lives here,
+in the plan layer, and nowhere else.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+ENCODINGS: Dict[str, str] = {
+    "ascii": "latin-1",
+    "binary": "latin-1",
+    "ebcdic": "cp037",
+}
+
+
+def encoding_for(ambient: str) -> str:
+    """Python codec name for an ambient coding ('ascii'/'binary'/'ebcdic')."""
+    try:
+        return ENCODINGS[ambient]
+    except KeyError:
+        raise ValueError(
+            f"unknown ambient coding {ambient!r}; "
+            f"expected one of {sorted(ENCODINGS)}") from None

@@ -1,0 +1,199 @@
+"""Analysis and optimization passes over the plan IR.
+
+Three passes run after lowering, in order:
+
+* :func:`compute_widths` — static-size analysis: annotates every
+  declaration and type use with its byte width when the physical form
+  is provably fixed (binary words, packed/zoned decimals, fixed-width
+  strings and integers, structs/arrays/enums built only from those).
+* :func:`fuse_literal_runs` — literal-prefix fusion: adjacent scannable
+  literal members of a struct are fused into one byte string so both
+  engines match them with a single comparison.
+* :func:`attach_fastpaths` — record the fastpath-eligibility verdict
+  (with its reason) for every declaration, and compile the fast
+  function for eligible ``Precord`` structs.  Both engines read the
+  verdict instead of re-deriving eligibility structurally.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .ir import (
+    ArrayPlan,
+    BaseUse,
+    ComputeItem,
+    DataItem,
+    EnumPlan,
+    LitItem,
+    OptUse,
+    Plan,
+    RefUse,
+    StructPlan,
+    SwitchPlan,
+    TypedefPlan,
+    UnionPlan,
+    Use,
+    Verdict,
+)
+
+
+def fixed_width_of(inst: Any) -> Optional[int]:
+    """Byte width of a base-type instance when statically fixed, else None."""
+    from ..core.basetypes import cobol as _cobol
+    from ..core.basetypes import integers as _ints
+    from ..core.basetypes import misc as _misc
+    from ..core.basetypes import strings as _strs
+    if isinstance(inst, (_ints.BinaryInt, _ints.BinaryFloat, _ints.BinaryRaw,
+                         _cobol.PackedDecimal)):
+        return inst.nbytes
+    if isinstance(inst, _cobol.ZonedDecimal):
+        return inst.digits
+    if isinstance(inst, _strs.FixedString):
+        return inst.nchars
+    if isinstance(inst, (_strs.AsciiChar, _strs.EbcdicChar)):
+        return 1
+    if isinstance(inst, _ints.AsciiIntFW):
+        return inst.nchars
+    if isinstance(inst, _misc.Empty):
+        return 0
+    return None
+
+
+# -- static-size analysis ----------------------------------------------------
+
+
+def compute_widths(plan: Plan) -> None:
+    # Types are declared before use, so one in-order pass suffices.
+    for dp in plan.decls.values():
+        dp.width = _decl_width(plan, dp)
+
+
+def _use_width(plan: Plan, use: Use) -> Optional[int]:
+    if isinstance(use, BaseUse):
+        use.width = (fixed_width_of(use.static)
+                     if use.static is not None else None)
+    elif isinstance(use, RefUse):
+        target = plan.decls.get(use.name)
+        use.width = target.width if target is not None else None
+    elif isinstance(use, OptUse):
+        _use_width(plan, use.inner)
+        use.width = None  # presence is data-dependent
+    else:
+        use.width = None
+    return use.width
+
+
+def _decl_width(plan: Plan, dp) -> Optional[int]:
+    if isinstance(dp, StructPlan):
+        total: Optional[int] = 0
+        for item in dp.items:
+            if isinstance(item, LitItem):
+                w = item.literal.width
+            elif isinstance(item, ComputeItem):
+                w = 0
+            else:
+                assert isinstance(item, DataItem)
+                w = _use_width(plan, item.type)
+            if w is None:
+                total = None  # keep annotating uses for the pretty-printer
+            elif total is not None:
+                total += w
+        return total
+
+    if isinstance(dp, UnionPlan):
+        widths = [_use_width(plan, br.type) for br in dp.branches]
+        if widths and None not in widths and len(set(widths)) == 1:
+            return widths[0]
+        return None
+
+    if isinstance(dp, SwitchPlan):
+        widths = [_use_width(plan, c.type) for c in dp.cases]
+        if widths and None not in widths and len(set(widths)) == 1:
+            return widths[0]
+        return None
+
+    if isinstance(dp, ArrayPlan):
+        ew = _use_width(plan, dp.elt)
+        n = dp.fixed_count
+        if (n is None or ew is None or dp.term is not None
+                or dp.last is not None or dp.ended is not None or dp.longest):
+            return None
+        if dp.sep is None:
+            sw = 0
+        elif dp.sep.width is not None:
+            sw = dp.sep.width
+        else:
+            return None
+        if n == 0:
+            return 0
+        return n * ew + (n - 1) * sw
+
+    if isinstance(dp, EnumPlan):
+        lens = {len(item.raw) for item in dp.items}
+        return lens.pop() if len(lens) == 1 else None
+
+    if isinstance(dp, TypedefPlan):
+        return _use_width(plan, dp.base)
+
+    return None
+
+
+# -- literal-prefix fusion ---------------------------------------------------
+
+
+def fuse_literal_runs(plan: Plan) -> None:
+    """Fuse runs of two or more adjacent char/string literal members.
+
+    ``Source.match_bytes`` consumes only on success, so matching the
+    concatenation is observationally identical to matching each literal
+    in turn on the clean path; a fused miss falls back to the original
+    per-literal code (with its resync behavior) at an unchanged cursor.
+    """
+    for dp in plan.decls.values():
+        if not isinstance(dp, StructPlan):
+            continue
+        items = dp.items
+        i = 0
+        while i < len(items):
+            if not (isinstance(items[i], LitItem)
+                    and items[i].literal.scannable):
+                i += 1
+                continue
+            j = i
+            while (j + 1 < len(items) and isinstance(items[j + 1], LitItem)
+                   and items[j + 1].literal.scannable):
+                j += 1
+            if j > i:
+                raw = b"".join(items[k].literal.raw for k in range(i, j + 1))
+                dp.fused_runs.append((i, j, raw))
+            i = j + 1
+
+
+# -- fastpath verdicts -------------------------------------------------------
+
+
+def attach_fastpaths(plan: Plan) -> None:
+    import re
+    from .fastpath import NotEligible, compile_fast
+    for dp in plan.decls.values():
+        if dp.params:
+            dp.verdict = Verdict(False, "parameterised type")
+            continue
+        if not dp.is_record:
+            dp.verdict = Verdict(False, "not a Precord type")
+            continue
+        if not isinstance(dp, StructPlan):
+            dp.verdict = Verdict(
+                False, f"Precord {dp.kind} (the fast path covers Pstruct "
+                "records)")
+            continue
+        try:
+            fn_name, lines, reason = compile_fast(plan, dp)
+        except NotEligible as exc:
+            dp.verdict = Verdict(False, str(exc) or "not eligible")
+        except re.error as exc:
+            dp.verdict = Verdict(False, f"regex error: {exc}")
+        else:
+            dp.verdict = Verdict(True, reason)
+            dp.fast_fn = (fn_name, lines)

@@ -298,6 +298,9 @@ class Translation:
     pads_source: str
     record_type: str
     record_width: int
+    #: The analyzed plan of the translated description (None when the
+    #: generated source does not round-trip through the front end).
+    plan: Optional[object] = None
 
     def compile(self, **kwargs):
         """Compile the translated description (EBCDIC ambient, fixed-width
@@ -327,8 +330,31 @@ def translate(copybook_text: str, source_name: str = "<copybook>") -> Translatio
     else:
         fields = "\n".join(f"  {t} r{i};" for i, t in enumerate(record_types))
         source_decl = f"Psource Pstruct copybook_file_t {{\n{fields}\n}};\n"
+    pads_source = header + body + "\n" + source_decl
+    record_type = record_types[0]
+
+    # Record width: prefer the plan's static-width analysis of the
+    # translated description (the same fact both engines consume); the
+    # copybook's own byte arithmetic is the fallback for layouts the
+    # analysis cannot size (e.g. REDEFINES overlays of unequal widths).
+    record_width = roots[0].byte_width()
+    plan = None
+    try:
+        from ..dsl.parser import parse_description
+        from ..dsl.typecheck import check_description
+        from ..plan import analyze
+        desc = parse_description(pads_source, source_name)
+        check_description(desc, "ebcdic")
+        plan = analyze(desc, "ebcdic")
+        width = plan.decl(record_type).width
+        if width is not None:
+            record_width = width
+    except Exception:
+        plan = None
+
     return Translation(
-        pads_source=header + body + "\n" + source_decl,
-        record_type=record_types[0],
-        record_width=roots[0].byte_width(),
+        pads_source=pads_source,
+        record_type=record_type,
+        record_width=record_width,
+        plan=plan,
     )

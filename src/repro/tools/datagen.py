@@ -85,6 +85,92 @@ def duplicate_field_separator(record: bytes, rng: random.Random) -> bytes:
     return body[:i] + body[i:i + 1] + body[i:] + nl
 
 
+# -- plan-derived structural mutators ---------------------------------------
+#
+# The generic mutators above guess at structure (bytes that look like
+# separators).  These read the analyzed plan IR instead: the struct's
+# resync literal set and the static-width analysis say exactly which
+# corruptions exercise the error-recovery machinery.
+
+
+def drop_literal(raw: bytes) -> Mutator:
+    """Remove one occurrence of a required literal (missing-separator
+    errors, driving ``lit_resync``)."""
+    def mutate(record: bytes, rng: random.Random) -> bytes:
+        body, nl = ((record[:-1], record[-1:])
+                    if record.endswith(b"\n") else (record, b""))
+        hits = []
+        start = body.find(raw)
+        while start != -1:
+            hits.append(start)
+            start = body.find(raw, start + 1)
+        if not hits:
+            return record
+        i = rng.choice(hits)
+        return body[:i] + body[i + len(raw):] + nl
+    return mutate
+
+
+def double_literal(raw: bytes) -> Mutator:
+    """Duplicate one occurrence of a literal (stray-separator errors,
+    shifting every later field)."""
+    def mutate(record: bytes, rng: random.Random) -> bytes:
+        body, nl = ((record[:-1], record[-1:])
+                    if record.endswith(b"\n") else (record, b""))
+        hits = []
+        start = body.find(raw)
+        while start != -1:
+            hits.append(start)
+            start = body.find(raw, start + 1)
+        if not hits:
+            return record
+        i = rng.choice(hits)
+        return body[:i] + raw + body[i:] + nl
+    return mutate
+
+
+def misalign_fixed_width(width: int) -> Mutator:
+    """Break a statically-sized record's width by one byte (the exact
+    corruption the fixed-width slicing fast path must reject)."""
+    def mutate(record: bytes, rng: random.Random) -> bytes:
+        body, nl = ((record[:-1], record[-1:])
+                    if record.endswith(b"\n") else (record, b""))
+        if len(body) < 2:
+            return record
+        if rng.random() < 0.5:
+            return body[:-1] + nl
+        i = rng.randrange(len(body))
+        return body[:i] + body[i:i + 1] + body[i:] + nl
+    return mutate
+
+
+def plan_mutators(description, record_type: str) -> List[Mutator]:
+    """Mutators derived from the analyzed plan of ``record_type``.
+
+    Struct resync literals yield drop/duplicate mutators; a static width
+    yields a misalignment mutator.  Falls back to the generic mix when
+    the plan offers no structure to aim at.
+    """
+    from ..plan.ir import StructPlan
+
+    decl = description.plan.decl(record_type)
+    mutators: List[Mutator] = []
+    if isinstance(decl, StructPlan):
+        for raw in dict.fromkeys(decl.scan_literals):
+            mutators.append(drop_literal(raw))
+            mutators.append(double_literal(raw))
+    if decl.width is not None:
+        mutators.append(misalign_fixed_width(decl.width))
+    if not mutators:
+        mutators = [truncate_record, garble_byte, duplicate_field_separator]
+    return mutators
+
+
+def plan_injector(description, record_type: str, rate: float) -> "ErrorInjector":
+    """An :class:`ErrorInjector` armed with plan-derived mutators."""
+    return ErrorInjector(rate, plan_mutators(description, record_type))
+
+
 class ErrorInjector:
     """Corrupts a fraction of records with a chosen mix of mutators.
 

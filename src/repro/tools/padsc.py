@@ -5,6 +5,7 @@ one entry point::
 
     padsc compile  desc.pads -o desc_parser.py        # generate a parser module
     padsc check    desc.pads                          # parse + typecheck only
+    padsc plan     desc.pads                          # analyzed plan IR
     padsc accum    desc.pads data --record entry_t    # statistical profile (5.2)
     padsc fmt      desc.pads data --record entry_t --delims '|'   # (5.3.1)
     padsc xml      desc.pads data --record entry_t    # canonical XML (5.3.2)
@@ -23,7 +24,7 @@ import sys
 from typing import Optional
 
 from .. import observe
-from ..core.api import compile_description, compile_file
+from ..core.api import compile_file
 from ..core.errors import DescriptionError, PadsError
 from ..core.io import FixedWidthRecords, LengthPrefixedRecords, NewlineRecords, NoRecords
 
@@ -178,6 +179,23 @@ def cmd_count(args) -> int:
     else:
         count = d.count_records(_data_input(args, d))
     print(count)
+    return 0
+
+
+def cmd_plan(args) -> int:
+    """Pretty-print the analyzed plan IR for a description."""
+    from ..plan import format_plan
+    try:
+        d = _load(args)
+    except DescriptionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        print(format_plan(d.plan, args.type))
+    except KeyError:
+        print(f"padsc: no type named {args.type!r} in description",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -356,6 +374,13 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_flag(p)
     obs_flags(p)
     p.set_defaults(fn=cmd_count)
+
+    p = sub.add_parser("plan", help="print the analyzed plan IR (resolved "
+                                    "types, widths, terminators, fastpath "
+                                    "eligibility)")
+    common(p, data=False)
+    p.add_argument("--type", help="only this type's plan entry")
+    p.set_defaults(fn=cmd_plan)
 
     p = sub.add_parser("xsd", help="emit the XML Schema")
     common(p, data=False)

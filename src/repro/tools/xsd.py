@@ -6,47 +6,45 @@ prints the fragment for the Sirius ``eventSeq`` type; this module
 generates that shape for every declared type: a ``<name>_pd`` complex type
 describing the embedded parse descriptor and a ``<name>`` complex type
 describing the value (with an optional trailing ``pd`` element).
+
+The walk runs over the plan IR (:mod:`repro.plan`): every bound runtime
+node carries its plan node on ``.plan``, so the schema is derived from
+the same analyzed facts (resolved base types in particular) as the
+engines, not from a second traversal of runtime internals.
 """
 
 from __future__ import annotations
 
 from typing import List
 
-from ..core.types import (
-    AppNode,
-    ArrayNode,
-    BaseNode,
-    EnumNode,
-    OptNode,
-    PType,
-    RecordNode,
-    StructNode,
-    SwitchUnionNode,
-    TypedefNode,
-    UnionNode,
+from ..plan.ir import (
+    ArrayPlan,
+    BaseUse,
+    ComputeItem,
+    DeclPlan,
+    EnumPlan,
+    LitItem,
+    OptUse,
+    RefUse,
+    StructPlan,
+    SwitchPlan,
+    TypedefPlan,
+    UnionPlan,
+    Use,
 )
 
 
-def _base_xsd(node: BaseNode) -> str:
-    inst = node._static
-    if inst is not None:
-        return inst.xsd_type()
-    return "xs:string"
-
-
-def _element_type(node: PType, owner: str, field: str) -> str:
-    """The XSD type name used for a child element."""
-    while isinstance(node, RecordNode):
-        node = node.inner
-    if isinstance(node, AppNode):
-        return node.name
-    if isinstance(node, BaseNode):
-        return _base_xsd(node)
-    if isinstance(node, OptNode):
-        return _element_type(node.inner, owner, field)
-    if isinstance(node, TypedefNode):
-        return node.name
-    return node.name
+def _use_xsd(use: Use) -> str:
+    """The XSD type name used for a child element's type-use."""
+    if isinstance(use, RefUse):
+        return use.name
+    if isinstance(use, OptUse):
+        return _use_xsd(use.inner)
+    if isinstance(use, BaseUse):
+        if use.static is not None:
+            return use.static.xsd_type()
+        return "xs:string"
+    return "xs:string"  # RegexUse
 
 
 def _pd_complex_type(name: str, is_array: bool) -> List[str]:
@@ -65,19 +63,26 @@ def _pd_complex_type(name: str, is_array: bool) -> List[str]:
     return lines
 
 
-def schema_for_type(name: str, node: PType) -> str:
+def _decl_plan(node) -> DeclPlan:
+    plan = getattr(node, "plan", None)
+    if not isinstance(plan, DeclPlan):
+        raise TypeError(f"node {node!r} carries no plan declaration")
+    return plan
+
+
+def schema_for_type(name: str, node) -> str:
     """The XML Schema fragment for one declared type (paper's eventSeq
-    example)."""
-    while isinstance(node, RecordNode):
-        node = node.inner
+    example).  ``node`` is a bound runtime node; its ``plan`` attribute
+    supplies the analyzed declaration."""
+    decl = _decl_plan(node)
 
     lines: List[str] = []
-    if isinstance(node, ArrayNode):
+    if isinstance(decl, ArrayPlan):
         lines.extend(_pd_complex_type(name, is_array=True))
         lines.append("")
         lines.append(f'<xs:complexType name="{name}">')
         lines.append("  <xs:sequence>")
-        elt_type = _element_type(node.elt, name, "elt")
+        elt_type = _use_xsd(decl.elt)
         lines.append(f'    <xs:element name="elt" type="{elt_type}"\n'
                      '        minOccurs="0" maxOccurs="unbounded"/>')
         lines.append('    <xs:element name="length" type="Puint32"/>')
@@ -90,41 +95,44 @@ def schema_for_type(name: str, node: PType) -> str:
     lines.extend(_pd_complex_type(name, is_array=False))
     lines.append("")
     lines.append(f'<xs:complexType name="{name}">')
-    if isinstance(node, StructNode):
+    if isinstance(decl, StructPlan):
         lines.append("  <xs:sequence>")
-        for f in node.fields:
-            if f.kind == "literal":
+        for item in decl.items:
+            if isinstance(item, LitItem):
                 continue
-            if f.kind == "compute":
-                lines.append(f'    <xs:element name="{f.name}" type="xs:long"/>')
+            if isinstance(item, ComputeItem):
+                lines.append(f'    <xs:element name="{item.name}" '
+                             'type="xs:long"/>')
                 continue
-            ftype = _element_type(f.node, name, f.name)
-            optional = ' minOccurs="0"' if isinstance(f.node, OptNode) else ""
-            lines.append(f'    <xs:element name="{f.name}" '
+            ftype = _use_xsd(item.type)
+            optional = (' minOccurs="0"'
+                        if isinstance(item.type, OptUse) else "")
+            lines.append(f'    <xs:element name="{item.name}" '
                          f'type="{ftype}"{optional}/>')
         lines.append(f'    <xs:element name="pd" type="{name}_pd"\n'
                      '        minOccurs="0" maxOccurs="1"/>')
         lines.append("  </xs:sequence>")
-    elif isinstance(node, (UnionNode, SwitchUnionNode)):
-        branches = node.branches if isinstance(node, UnionNode) else node.cases
+    elif isinstance(decl, (UnionPlan, SwitchPlan)):
+        branches = (decl.branches if isinstance(decl, UnionPlan)
+                    else decl.cases)
         lines.append("  <xs:choice>")
         for br in branches:
-            btype = _element_type(br.node, name, br.name)
+            btype = _use_xsd(br.type)
             lines.append(f'    <xs:element name="{br.name}" type="{btype}"/>')
         lines.append(f'    <xs:element name="pd" type="{name}_pd"/>')
         lines.append("  </xs:choice>")
-    elif isinstance(node, EnumNode):
+    elif isinstance(decl, EnumPlan):
         lines[-1] = f'<xs:simpleType name="{name}">'
         lines.append('  <xs:restriction base="xs:string">')
-        for item_name, _, _ in node.items:
-            lines.append(f'    <xs:enumeration value="{item_name}"/>')
+        for item in decl.items:
+            lines.append(f'    <xs:enumeration value="{item.name}"/>')
         lines.append("  </xs:restriction>")
         lines.append(f"</xs:simpleType>")
         return "\n".join(lines)
-    elif isinstance(node, TypedefNode):
+    elif isinstance(decl, TypedefPlan):
         lines.append("  <xs:sequence>")
         lines.append(f'    <xs:element name="value" '
-                     f'type="{_element_type(node.base, name, "value")}"/>')
+                     f'type="{_use_xsd(decl.base)}"/>')
         lines.append(f'    <xs:element name="pd" type="{name}_pd"\n'
                      '        minOccurs="0" maxOccurs="1"/>')
         lines.append("  </xs:sequence>")

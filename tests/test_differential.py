@@ -15,6 +15,7 @@ import pytest
 
 from repro import Mask, P_Check, P_CheckAndSet, P_Set, gallery, observe
 from repro.codegen import compile_generated
+from repro.core.api import compile_description
 from repro.core.io import FixedWidthRecords
 from repro.core.masks import MaskFlag
 from repro.tools.accum import Accumulator
@@ -133,6 +134,67 @@ class TestSerialParallelAgree:
         _, _, par = run_records(interp, data, rtype, parallel=True,
                                 metered=True)
         assert serial == par
+
+
+@pytest.mark.parametrize("name", list(CASES))
+class TestPlanDrivenAgainstReference:
+    """Plan-driven engines (record fast fns + fused literal runs) vs
+    reference mode (``fastpath=False``), which runs the pre-refactor
+    general parse path only.
+
+    The reference side runs serially (parallel workers recompile with
+    default settings); the plan-driven side must match it both serially
+    and through ``records_parallel``.
+    """
+
+    def _reference_pair(self, interp):
+        ref_interp = compile_description(
+            interp.source_text, ambient=interp.ambient,
+            discipline=interp.discipline, fastpath=False)
+        ref_gen = compile_generated(
+            interp.source_text, ambient=interp.ambient,
+            discipline=interp.discipline, fastpath=False)
+        return ref_interp, ref_gen
+
+    def test_fast_path_is_actually_active(self, cases, name):
+        interp, gen, _data, rtype = cases[name]
+        verdict = interp.plan.decl(rtype).verdict
+        assert verdict.eligible, verdict
+        assert f"_fp_{rtype}" in gen.py_source
+        ref_i, ref_g = self._reference_pair(interp)
+        # Reference mode disables materialisation, not analysis: the plan
+        # still carries the verdict, but no fast fn reaches the engines.
+        assert ref_i.plan.decl(rtype).verdict.eligible
+        assert f"_fp_{rtype}" not in ref_g.py_source
+
+    def test_reps_and_pds_match_reference(self, cases, name):
+        interp, gen, data, rtype = cases[name]
+        ref_i, ref_g = self._reference_pair(interp)
+        ref_reps, ref_pds, _ = run_records(ref_i, data, rtype)
+        g_reps, g_pds, _ = run_records(ref_g, data, rtype)
+        assert (g_reps, g_pds) == (ref_reps, ref_pds)
+        for engine in (interp, gen):
+            for parallel in (False, True):
+                reps, pds, _ = run_records(engine, data, rtype,
+                                           parallel=parallel)
+                assert reps == ref_reps
+                assert pds == ref_pds
+
+    def test_accumulator_reports_match_reference(self, cases, name):
+        interp, gen, data, rtype = cases[name]
+        ref_i, _ = self._reference_pair(interp)
+
+        def report(engine):
+            acc = Accumulator(engine.node(rtype), "<top>", 1000)
+            for rep, pd in engine.records(data, rtype):
+                acc.add(rep, pd)
+            return acc.full_report()
+
+        base = report(ref_i)
+        assert report(interp) == base
+        assert report(gen) == base
+        acc, _hdr, _tally = interp.accumulate_parallel(data, rtype, jobs=JOBS)
+        assert acc.full_report() == base
 
 
 @pytest.mark.parametrize("name", ["clf", "sirius"])

@@ -1,0 +1,302 @@
+"""Tests for the plan IR (repro.plan): the analyzed middle layer.
+
+Pins the facts both engines now consume from one analysis instead of
+re-deriving independently: the ambient-coding table (with an EBCDIC
+regression through both engines), static widths, fastpath verdicts and
+their reasons, fused literal runs (interpreter and codegen observing the
+same per-literal fallback semantics), and the ``padsc plan``
+pretty-printer.
+"""
+
+import random
+
+import pytest
+
+from repro import compile_description, gallery
+from repro.codegen import compile_generated, generate_source
+from repro.core.io import FixedWidthRecords
+from repro.plan import ENCODINGS, analyze, encoding_for, format_plan
+from repro.dsl.parser import parse_description
+from repro.dsl.typecheck import check_description
+
+from .test_codegen import pd_summary
+
+
+def _analyze(text, ambient="ascii"):
+    desc = parse_description(text, "<test>")
+    check_description(desc, ambient)
+    return analyze(desc, ambient)
+
+
+# ---------------------------------------------------------------------------
+# Encodings: one table, shared by everything
+# ---------------------------------------------------------------------------
+
+
+class TestEncodings:
+    def test_the_one_table(self):
+        assert ENCODINGS == {"ascii": "latin-1", "binary": "latin-1",
+                             "ebcdic": "cp037"}
+
+    def test_encoding_for(self):
+        assert encoding_for("ebcdic") == "cp037"
+        with pytest.raises(ValueError):
+            encoding_for("utf-16")
+
+    def test_plan_carries_the_encoding(self):
+        assert _analyze(gallery.CLF).encoding == "latin-1"
+
+    def test_no_second_encodings_table(self):
+        # The acceptance criterion in code form: neither engine defines
+        # its own ambient table anymore.
+        import repro.codegen.emitter as emitter
+        import repro.core.binding as binding
+        assert not hasattr(emitter, "_ENCODINGS")
+        assert not hasattr(binding, "_ENCODINGS")
+
+
+EBCDIC_DESC = """
+Precord Pstruct item_t {
+  Pe_string_FW(:6:) tag;
+  Pzoned_FW(:5:)    qty;
+  Pbcd_FW(:7, 2:)   amount;
+};
+Psource Parray items_t {
+  item_t[];
+};
+"""
+
+
+class TestEbcdicRegression:
+    """cp037 descriptions parse identically through both engines."""
+
+    def test_both_engines_byte_identical(self):
+        width = 6 + 5 + 4  # FW string + zoned digits + packed (7+2+2)//2
+        disc = FixedWidthRecords(width)
+        interp = compile_description(EBCDIC_DESC, ambient="ebcdic",
+                                     discipline=disc)
+        gen = compile_generated(EBCDIC_DESC, ambient="ebcdic",
+                                discipline=disc)
+        assert interp.plan.encoding == "cp037"
+        assert interp.plan.decl("item_t").width == width
+
+        rng = random.Random(2005)
+        reps = [interp.generate("item_t", rng) for _ in range(25)]
+        data = b"".join(interp.write(r, "item_t") for r in reps)
+        assert len(data) == 25 * width
+
+        out_i = list(interp.records(data, "item_t"))
+        out_g = list(gen.records(data, "item_t"))
+        assert [r for r, _ in out_i] == reps
+        assert [r for r, _ in out_i] == [r for r, _ in out_g]
+        assert ([pd_summary(p) for _, p in out_i]
+                == [pd_summary(p) for _, p in out_g])
+        assert all(pd.nerr == 0 for _, pd in out_i)
+        # Writing round-trips through the same cp037 table.
+        assert b"".join(gen.write(r, "item_t") for r, _ in out_g) == data
+
+    def test_ebcdic_corruption_handled_identically(self):
+        width = 15
+        disc = FixedWidthRecords(width)
+        interp = compile_description(EBCDIC_DESC, ambient="ebcdic",
+                                     discipline=disc)
+        gen = compile_generated(EBCDIC_DESC, ambient="ebcdic",
+                                discipline=disc)
+        rng = random.Random(7)
+        rep = interp.generate("item_t", rng)
+        raw = bytearray(interp.write(rep, "item_t"))
+        raw[8] = 0x40  # EBCDIC space inside the zoned field
+        pairs_i = list(interp.records(bytes(raw), "item_t"))
+        pairs_g = list(gen.records(bytes(raw), "item_t"))
+        assert ([pd_summary(p) for _, p in pairs_i]
+                == [pd_summary(p) for _, p in pairs_g])
+
+
+# ---------------------------------------------------------------------------
+# Static widths and verdicts
+# ---------------------------------------------------------------------------
+
+
+class TestWidthsAndVerdicts:
+    def test_call_detail_widths(self):
+        plan = _analyze(gallery.CALL_DETAIL, "binary")
+        assert plan.decl("call_t").width == 24
+
+    def test_clf_is_dynamic_but_regex_eligible(self):
+        plan = _analyze(gallery.CLF)
+        decl = plan.decl("entry_t")
+        assert decl.width is None
+        assert decl.verdict.eligible
+        assert decl.verdict.reason == "anchored regex over the record"
+
+    def test_fixed_width_records_get_the_slice_path(self):
+        plan = _analyze(gallery.CALL_DETAIL, "binary")
+        verdict = plan.decl("call_t").verdict
+        assert verdict.eligible
+        assert verdict.reason == "fixed-width slicing over 24 bytes"
+
+    def test_non_record_types_are_ineligible_with_reason(self):
+        plan = _analyze(gallery.CLF)
+        verdict = plan.decl("request_t").verdict
+        assert not verdict.eligible
+        assert "not a Precord" in verdict.reason
+
+    def test_parameterised_records_are_ineligible(self):
+        plan = _analyze("""
+Precord Pstruct row_t(:int len:) {
+  Pstring_FW(:len:) body;
+};
+Psource Parray rows_t {
+  row_t(:4:)[];
+};
+""")
+        verdict = plan.decl("row_t").verdict
+        assert not verdict.eligible
+        assert verdict.reason == "parameterised type"
+
+
+# ---------------------------------------------------------------------------
+# Optimization passes: literal fusion + fixed-width slicing
+# ---------------------------------------------------------------------------
+
+FUSED_DESC = """
+Precord Pstruct pair_t {
+  "<<";
+  '[';
+  Puint32 a;
+  "]::";
+  '(';
+  Puint32 b;
+  ')';
+};
+Psource Parray pairs_t {
+  pair_t[];
+};
+"""
+
+
+class TestLiteralFusion:
+    def test_adjacent_literals_fuse(self):
+        plan = _analyze(FUSED_DESC)
+        decl = plan.decl("pair_t")
+        assert (0, 1, b"<<[") in decl.fused_runs
+        assert (3, 4, b"]::(") in decl.fused_runs
+
+    def test_fused_parse_identical_to_reference(self):
+        fast = compile_description(FUSED_DESC)
+        ref = compile_description(FUSED_DESC, fastpath=False)
+        gen = compile_generated(FUSED_DESC)
+        gen_ref = compile_generated(FUSED_DESC, fastpath=False)
+        assert "_lrun" in gen.py_source
+        assert "_lrun" not in gen_ref.py_source
+
+        clean = b"<<[7]::(9)\n<<[12]::(0)\n"
+        # Corruptions hitting inside and across the fused runs: the fused
+        # match fails without consuming, so per-literal resync behaves
+        # exactly as the reference engines.
+        corrupt = (b"<<[7]::(9)\n"
+                   b"<[7]::(9)\n"        # first run broken at byte 1
+                   b"<<7]::(9)\n"        # missing '[' inside run
+                   b"<<[7]:(9)\n"        # second run broken
+                   b"<<[7]::9)\n"        # missing '(' inside run
+                   b"garbage\n"
+                   b"<<[1]::(2)\n")
+        for data in (clean, corrupt):
+            base = [(r, pd_summary(p))
+                    for r, p in ref.records(data, "pair_t")]
+            for engine in (fast, gen, gen_ref):
+                got = [(r, pd_summary(p))
+                       for r, p in engine.records(data, "pair_t")]
+                assert got == base, engine
+
+
+class TestSlicePath:
+    def test_interpreter_gains_the_fast_fn(self):
+        disc = FixedWidthRecords(24)
+        interp = compile_description(gallery.CALL_DETAIL, ambient="binary",
+                                     discipline=disc)
+        node = interp.node("call_t")
+        assert node.fast_fn is not None
+
+    def test_reference_mode_has_no_fast_fn(self):
+        disc = FixedWidthRecords(24)
+        interp = compile_description(gallery.CALL_DETAIL, ambient="binary",
+                                     discipline=disc, fastpath=False)
+        assert interp.node("call_t").fast_fn is None
+
+    def test_sliced_parse_identical_to_reference(self):
+        from repro.tools.datagen import call_detail_workload
+        disc = FixedWidthRecords(24)
+        fast = compile_description(gallery.CALL_DETAIL, ambient="binary",
+                                   discipline=disc)
+        ref = compile_description(gallery.CALL_DETAIL, ambient="binary",
+                                  discipline=disc, fastpath=False)
+        data = bytearray(call_detail_workload(60, random.Random(3)))
+        data[22] = 0xFF  # corrupt a constrained field in record 0
+        data = bytes(data)
+        ref_out = list(ref.records(data, "call_t"))
+        base = [(r, pd_summary(p)) for r, p in ref_out]
+        got = [(r, pd_summary(p)) for r, p in fast.records(data, "call_t")]
+        assert got == base
+        assert any(p.nerr for _, p in ref_out)  # the corruption registered
+
+
+# ---------------------------------------------------------------------------
+# padsc plan (CLI pretty-printer)
+# ---------------------------------------------------------------------------
+
+
+class TestPlanCLI:
+    @pytest.fixture()
+    def clf_path(self, tmp_path):
+        path = tmp_path / "clf.pads"
+        path.write_text(gallery.CLF)
+        return str(path)
+
+    def test_whole_description(self, clf_path, capsys):
+        from repro.tools.padsc import main
+        assert main(["plan", clf_path]) == 0
+        out = capsys.readouterr().out
+        assert "plan: ambient=ascii encoding=latin-1 source=clt_t" in out
+        assert "fastpath: eligible: anchored regex over the record" in out
+        assert "fastpath: not eligible:" in out
+
+    def test_single_type(self, clf_path, capsys):
+        from repro.tools.padsc import main
+        assert main(["plan", clf_path, "--type", "entry_t"]) == 0
+        out = capsys.readouterr().out
+        assert "Pstruct entry_t  [Precord]" in out
+        assert "width: dynamic" in out
+        assert "resync literals:" in out
+
+    def test_unknown_type(self, clf_path, capsys):
+        from repro.tools.padsc import main
+        assert main(["plan", clf_path, "--type", "nope"]) == 1
+        assert "no type named" in capsys.readouterr().err
+
+    def test_format_plan_shows_widths(self):
+        plan = _analyze(gallery.CALL_DETAIL, "binary")
+        text = format_plan(plan, "call_t")
+        assert "width: 24 bytes" in text
+        assert "fastpath: eligible: fixed-width slicing over 24 bytes" in text
+
+
+# ---------------------------------------------------------------------------
+# Engines consume the plan (structure sharing)
+# ---------------------------------------------------------------------------
+
+
+class TestPlanIsShared:
+    def test_bound_nodes_carry_plan_nodes(self):
+        interp = compile_description(gallery.CLF)
+        decl = interp.plan.decl("entry_t")
+        assert interp.node("entry_t").plan is decl
+
+    def test_emitter_reuses_an_existing_plan(self):
+        desc = parse_description(gallery.CLF, "<description>")
+        check_description(desc, "ascii")
+        plan = analyze(desc, "ascii")
+        src_shared = generate_source(gallery.CLF)
+        from repro.codegen.emitter import generate_source as emit
+        assert emit(desc, "ascii", source_text=gallery.CLF,
+                    plan=plan) == src_shared
