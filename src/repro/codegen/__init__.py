@@ -25,6 +25,7 @@ from typing import Iterator, Optional, Tuple
 from .. import observe
 from ..core.errors import ErrCode, PadsError, Pd
 from ..core.io import RecordDiscipline, Source
+from ..core.limits import ParseLimits, record_guard
 from ..core.masks import Mask, P_CheckAndSet
 from ..dsl.parser import parse_description
 from ..dsl.typecheck import check_description
@@ -66,12 +67,13 @@ def compile_generated(text: str, *, ambient: str = "ascii",
                       discipline: Optional[RecordDiscipline] = None,
                       filename: str = "<description>",
                       check: bool = True,
-                      fastpath: bool = True) -> "GeneratedDescription":
+                      fastpath: bool = True,
+                      limits: Optional[ParseLimits] = None) -> "GeneratedDescription":
     """Generate, load and wrap a parser module for ``text``."""
     py_source = generate_source(text, ambient=ambient, filename=filename,
                                 check=check, fastpath=fastpath)
     module = load_module(py_source)
-    return GeneratedDescription(module, discipline, py_source)
+    return GeneratedDescription(module, discipline, py_source, limits=limits)
 
 
 class GeneratedDescription:
@@ -80,11 +82,13 @@ class GeneratedDescription:
     verify), so clients and tests can swap the two freely."""
 
     def __init__(self, module, discipline: Optional[RecordDiscipline] = None,
-                 py_source: str = ""):
+                 py_source: str = "", limits: Optional[ParseLimits] = None):
         self.module = module
         self.py_source = py_source
         from ..core.io import NewlineRecords
         self.discipline = discipline or NewlineRecords()
+        #: Resource budget attached to every source this description opens.
+        self.limits = limits
         module.DISCIPLINE = self.discipline
 
     # -- introspection ------------------------------------------------------
@@ -111,13 +115,15 @@ class GeneratedDescription:
 
     def open(self, data) -> Source:
         if isinstance(data, Source):
+            if data.limits is None and self.limits is not None:
+                data.set_limits(self.limits)
             return data
         if isinstance(data, str):
             data = data.encode("latin-1")
-        return Source.from_bytes(data, self.discipline)
+        return Source.from_bytes(data, self.discipline, limits=self.limits)
 
     def open_file(self, path: str) -> Source:
-        return Source.from_file(path, self.discipline)
+        return Source.from_file(path, self.discipline, limits=self.limits)
 
     # -- API -----------------------------------------------------------------------
 
@@ -148,6 +154,24 @@ class GeneratedDescription:
         # One global load decides between the plain loop and the metered
         # one, keeping the disabled path free of per-record bookkeeping.
         obs = observe.CURRENT
+        def parse_bare():
+            # Non-record type parsed record-at-a-time: the record scoping
+            # (and its limit guards) that a Precord wrapper would provide.
+            if not src.begin_record():
+                return None
+            if src.limits is not None:
+                pd = Pd()
+                if not record_guard(src, pd):
+                    src.note_errors(pd.nerr)
+                    return gen.default(), pd
+            rep, pd = gen.parse(src, use_mask)
+            if not src.at_eor() and (use_mask.bits & 2) and pd.nerr == 0:
+                pd.record_error(ErrCode.EXTRA_DATA_AT_EOR, src.here())
+            src.end_record()
+            if src.limits is not None:
+                src.note_errors(pd.nerr)
+            return rep, pd
+
         if obs is None:
             while not src.at_eof():
                 if gen.is_record:
@@ -155,12 +179,10 @@ class GeneratedDescription:
                     if pd.err_code == ErrCode.AT_EOF:
                         return
                 else:
-                    if not src.begin_record():
+                    out = parse_bare()
+                    if out is None:
                         return
-                    rep, pd = gen.parse(src, use_mask)
-                    if not src.at_eor() and (use_mask.bits & 2) and pd.nerr == 0:
-                        pd.record_error(ErrCode.EXTRA_DATA_AT_EOR, src.here())
-                    src.end_record()
+                    rep, pd = out
                 yield rep, pd
             return
         while not src.at_eof():
@@ -170,12 +192,10 @@ class GeneratedDescription:
                 if pd.err_code == ErrCode.AT_EOF:
                     return
             else:
-                if not src.begin_record():
+                out = parse_bare()
+                if out is None:
                     return
-                rep, pd = gen.parse(src, use_mask)
-                if not src.at_eor() and (use_mask.bits & 2) and pd.nerr == 0:
-                    pd.record_error(ErrCode.EXTRA_DATA_AT_EOR, src.here())
-                src.end_record()
+                rep, pd = out
             obs.record_parsed(type_name, pd, src.pos - start,
                               perf_counter() - t0, start=start,
                               record=src.record_idx)

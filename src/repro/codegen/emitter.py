@@ -321,7 +321,8 @@ class Emitter:
             "getmember as _member, builtins_table as _B")
         w.w("from repro.codegen.runtime import (lit_resync as _lit_resync, "
             "skip_to_literal as _skip_to_lit, array_resync as _array_resync, "
-            "convert_packed as _fp_packed, convert_zoned as _fp_zoned)")
+            "convert_packed as _fp_packed, convert_zoned as _fp_zoned, "
+            "record_guard as _record_guard, note_limit as _note_limit)")
         w.w("from repro.core.basetypes.temporal import parse_date_text "
             "as _parse_date_text")
         w.w("")
@@ -373,6 +374,27 @@ class Emitter:
         # follow it positionally.
         return "mask" if decl.params else "mask=None"
 
+    def _default_call(self, decl: DeclPlan) -> str:
+        args = ", ".join(f"p_{p}" for _, p in decl.params)
+        return f"_safe_default(lambda: {decl.name}_default({args}))"
+
+    def _begin_depth_guard(self, w: _W, decl: DeclPlan) -> "_Indent":
+        """Open a compound parse body: fresh pd, ``max_depth`` entry check,
+        and a ``try:`` whose matching ``finally:`` (written by
+        :meth:`_end_depth_guard`) releases the nesting level on every exit
+        path.  Mirrors the interpreter's ``_depth_guarded`` wrapper."""
+        w.w("pd = Pd()")
+        with w.block("if src.limits is not None and not src.push_depth(pd):"):
+            w.w(f"return {self._default_call(decl)}, pd")
+        cm = w.block("try:")
+        cm.__enter__()
+        return cm
+
+    def _end_depth_guard(self, w: _W, cm: "_Indent") -> None:
+        cm.__exit__(None, None, None)
+        with w.block("finally:"):
+            w.w("if src.limits is not None: src.pop_depth()")
+
     def _emit_record_wrapper(self, w: _W, decl: DeclPlan) -> str:
         """For Precord types, the public parse wraps an inner body."""
         name = decl.name
@@ -388,12 +410,19 @@ class Emitter:
                 w.w("pd = Pd()")
                 w.w("pd.record_error(ErrCode.AT_EOF, src.here(), panic=True)")
                 w.w(f"return _safe_default(lambda: {name}_default({args.lstrip(', ')})), pd")
+            with w.block("if src.limits is not None:"):
+                w.w("pd = Pd()")
+                with w.block("if not _record_guard(src, pd):"):
+                    w.w("src.note_errors(pd.nerr)")
+                    w.w(f"return _safe_default(lambda: {name}_default({args.lstrip(', ')})), pd")
             if fast is not None:
                 # Uniform, value-materialising masks take the compiled
                 # one-regex route; None means "let the general parser decide".
                 with w.block("if (mask.bits & 1) and not mask.fields "
                              "and mask.compound_level is None "
-                             "and mask.elts is None:"):
+                             "and mask.elts is None "
+                             "and (src.limits is None "
+                             "or src.limits.fastpath_safe):"):
                     w.w(f"_rep = {fast}(src.record_bytes(), "
                         "(mask.bits & 4) != 0)")
                     with w.block("if _rep is not None:"):
@@ -404,6 +433,7 @@ class Emitter:
             with w.block("if not src.at_eor() and (mask.bits & 2) and pd.nerr == 0:"):
                 w.w("pd.record_error(ErrCode.EXTRA_DATA_AT_EOR, src.here())")
             w.w("src.end_record()")
+            w.w("if src.limits is not None: src.note_errors(pd.nerr)")
             w.w("return rep, pd")
         w.w()
         return f"_{name}_body"
@@ -431,7 +461,7 @@ class Emitter:
             if not decl.is_record:
                 w.w(f'"""Parse one {name}."""')
                 w.w("if mask is None: mask = Mask(P_CheckAndSet)")
-            w.w("pd = Pd()")
+            _guard = self._begin_depth_guard(w, decl)
             w.w("_panic = False")
             w.w("_skip = 0")
             members = decl.items
@@ -468,6 +498,7 @@ class Emitter:
                                           "pd.record_error(ErrCode."
                                           "WHERE_CLAUSE_VIOLATION, src.here())")
             w.w("return rep, pd")
+            self._end_depth_guard(w, _guard)
         w.w()
         self._emit_struct_write(w, decl)
         self._emit_struct_verify(w, decl)
@@ -703,7 +734,7 @@ class Emitter:
                 w.w(f'"""Parse one {name} (first branch that parses without '
                     'error wins)."""')
                 w.w("if mask is None: mask = Mask(P_CheckAndSet)")
-            w.w("pd = Pd()")
+            _guard = self._begin_depth_guard(w, decl)
             w.w("_uloc = src.here()")
             for br in decl.branches:
                 w.w(f"# branch {br.name}")
@@ -726,6 +757,7 @@ class Emitter:
                 w.w("src.restore(_bst)")
             w.w("pd.record_error(ErrCode.UNION_MATCH_FAILURE, _uloc, panic=True)")
             w.w("return UnionVal('<none>', None), pd")
+            self._end_depth_guard(w, _guard)
         w.w()
         self._emit_union_write(w, decl, decl.branches)
         self._emit_union_verify(w, decl)
@@ -742,7 +774,7 @@ class Emitter:
                 w.w(f'"""Parse one {name} (Pswitch on a selector '
                     'expression)."""')
                 w.w("if mask is None: mask = Mask(P_CheckAndSet)")
-            w.w("pd = Pd()")
+            _guard = self._begin_depth_guard(w, decl)
             w.w("_case = None")
             with w.block("try:"):
                 w.w(f"_sel = {self.cexpr(decl.selector, scope)}")
@@ -782,6 +814,7 @@ class Emitter:
                     w.w(f"return UnionVal({case.name!r}, _cv), pd")
             w.w("pd.record_error(ErrCode.SWITCH_NO_CASE, src.here(), panic=True)")
             w.w("return UnionVal('<none>', None), pd")
+            self._end_depth_guard(w, _guard)
         w.w()
         self._emit_union_write(w, decl, cases)
         self._emit_switch_verify(w, decl)
@@ -902,7 +935,7 @@ class Emitter:
             if not decl.is_record:
                 w.w(f'"""Parse one {name} array."""')
                 w.w("if mask is None: mask = Mask(P_CheckAndSet)")
-            w.w("pd = Pd()")
+            _guard = self._begin_depth_guard(w, decl)
             w.w("_em = mask.for_elements()")
             w.w("elts = []")
             with w.block("try:"):
@@ -918,8 +951,13 @@ class Emitter:
                 w.w("pd.record_error(ErrCode.ARRAY_SIZE_ERR, src.here(), "
                     "panic=True)")
                 w.w("return [], pd")
+            w.w("_alim = src.limits.max_array_elems "
+                "if src.limits is not None else None")
             w.w("_first = True")
             with w.block("while True:"):
+                with w.block("if _alim is not None and len(elts) >= _alim:"):
+                    w.w("_note_limit(pd, ErrCode.ARRAY_LIMIT, src.here())")
+                    w.w("break")
                 with w.block("if _hi is not None and len(elts) >= _hi:"):
                     w.w("break")
                 if decl.ended is not None:
@@ -1002,6 +1040,7 @@ class Emitter:
                                           "pd.record_error(ErrCode."
                                           "WHERE_CLAUSE_VIOLATION, src.here())")
             w.w("return elts, pd")
+            self._end_depth_guard(w, _guard)
         w.w()
         self._emit_array_write(w, decl)
         self._emit_array_verify(w, decl)

@@ -12,6 +12,7 @@ from typing import List, Optional
 from .. import observe
 from ..core.errors import ErrCode, Pd, Pstate
 from ..core.io import Source
+from ..core.limits import note_limit, record_guard  # noqa: F401 - re-export
 from ..core.types import MAX_RESYNC_SCAN
 
 
@@ -21,7 +22,7 @@ def lit_resync(src: Source, pd: Pd, raw: bytes, start: int) -> bool:
     Returns True when resynchronised (PARTIAL); False means the literal is
     unreachable and the caller must panic to end-of-record.
     """
-    at = src.scan_for(raw, MAX_RESYNC_SCAN)
+    at = src.scan_for(raw, src.scan_cap(MAX_RESYNC_SCAN))
     if at >= 0:
         observe.count("resync.literal")
         pd.record_error(ErrCode.MISSING_LITERAL, src.loc_from(start))
@@ -34,7 +35,7 @@ def lit_resync(src: Source, pd: Pd, raw: bytes, start: int) -> bool:
 
 def skip_to_literal(src: Source, raw: bytes) -> bool:
     """Field-error recovery: skip garbage up to (and past) ``raw``."""
-    at = src.scan_for(raw, MAX_RESYNC_SCAN)
+    at = src.scan_for(raw, src.scan_cap(MAX_RESYNC_SCAN))
     if at >= 0:
         observe.count("resync.field_skip")
         src.pos = at + len(raw)
@@ -45,12 +46,13 @@ def skip_to_literal(src: Source, raw: bytes) -> bool:
 def array_resync(src: Source, sep: Optional[bytes], term: Optional[bytes]) -> bool:
     """Skip junk to the next separator or terminator; False => panic."""
     candidates = []
+    cap = src.scan_cap(MAX_RESYNC_SCAN)
     if sep is not None:
-        at = src.scan_for(sep, MAX_RESYNC_SCAN)
+        at = src.scan_for(sep, cap)
         if at >= 0:
             candidates.append(at)
     if term is not None:
-        at = src.scan_for(term, MAX_RESYNC_SCAN)
+        at = src.scan_for(term, cap)
         if at >= 0:
             candidates.append(at)
     if candidates:

@@ -27,6 +27,7 @@ from ..expr.eval import Env
 from .binding import BoundDescription, bind_description
 from .errors import ErrCode, PadsError, Pd
 from .io import NewlineRecords, RecordDiscipline, Source
+from .limits import ParseLimits
 from .masks import Mask, P_CheckAndSet
 from .types import ArrayNode, PType, RecordNode
 
@@ -39,7 +40,8 @@ class CompiledDescription:
 
     def __init__(self, bound: BoundDescription,
                  discipline: Optional[RecordDiscipline] = None,
-                 source_text: Optional[str] = None):
+                 source_text: Optional[str] = None,
+                 limits: Optional[ParseLimits] = None):
         self.bound = bound
         self.desc = bound.desc
         self.ambient = bound.ambient
@@ -47,6 +49,8 @@ class CompiledDescription:
         #: The original description source, kept so worker processes can
         #: recompile the description (:mod:`repro.parallel`).
         self.source_text = source_text
+        #: Resource budget attached to every source this description opens.
+        self.limits = limits
         bound.global_env.vars["_pads_discipline"] = self.discipline
 
     # -- introspection ----------------------------------------------------------
@@ -79,13 +83,15 @@ class CompiledDescription:
         # Strings are encoded latin-1 (byte-transparent) everywhere in the
         # runtime; see the :mod:`repro.core.io` module docstring.
         if isinstance(data, Source):
+            if data.limits is None and self.limits is not None:
+                data.set_limits(self.limits)
             return data
         if isinstance(data, str):
             data = data.encode("latin-1")
-        return Source.from_bytes(data, self.discipline)
+        return Source.from_bytes(data, self.discipline, limits=self.limits)
 
     def open_file(self, path: str) -> Source:
-        return Source.from_file(path, self.discipline)
+        return Source.from_file(path, self.discipline, limits=self.limits)
 
     # -- parsing entry points --------------------------------------------------------
 
@@ -230,6 +236,7 @@ def compile_description(text: str, *, ambient: str = "ascii",
                         filename: str = "<description>",
                         check: bool = True,
                         fastpath: bool = True,
+                        limits: Optional[ParseLimits] = None,
                         base_type_files: Optional[list] = None) -> CompiledDescription:
     """Parse, typecheck, analyze and bind a PADS description.
 
@@ -237,6 +244,8 @@ def compile_description(text: str, *, ambient: str = "ascii",
     ``discipline`` the record discipline (newline-terminated by default,
     as in the paper); ``fastpath`` disables the plan-compiled record
     fast functions (reference mode for differential testing);
+    ``limits`` an optional :class:`~repro.core.limits.ParseLimits`
+    resource budget attached to every source the description opens;
     ``base_type_files`` lists user base-type specification files to load
     first (paper Section 6).
     """
@@ -247,7 +256,8 @@ def compile_description(text: str, *, ambient: str = "ascii",
     if check:
         check_description(desc, ambient)
     bound = bind_description(desc, ambient, fastpath=fastpath)
-    return CompiledDescription(bound, discipline, source_text=text)
+    return CompiledDescription(bound, discipline, source_text=text,
+                               limits=limits)
 
 
 def compile_file(path: str, **kwargs) -> CompiledDescription:

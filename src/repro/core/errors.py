@@ -23,7 +23,9 @@ class ErrCode(enum.IntEnum):
     The numbering groups codes the same way the C runtime does: 0 is
     success, 1xx are system/IO errors, 2xx are syntactic errors, 3xx are
     semantic (user-constraint) errors, and 4xx are structural errors raised
-    by compound types.
+    by compound types.  5xx are resource-limit errors raised when a
+    :class:`~repro.core.limits.ParseLimits` budget is exhausted — they are
+    *not* syntactic, so they never trigger error-recovery resync.
     """
 
     NO_ERR = 0
@@ -67,11 +69,22 @@ class ErrCode(enum.IntEnum):
     EXTRA_DATA_AT_EOR = 407
     PANIC_SKIPPED = 408
 
+    # Resource-limit errors (ParseLimits budgets).
+    LIMIT_EXCEEDED = 500
+    RECORD_LIMIT = 501
+    ARRAY_LIMIT = 502
+    NEST_LIMIT = 503
+    DEADLINE_EXCEEDED = 504
+    ERROR_BUDGET_EXCEEDED = 505
+
     def is_syntactic(self) -> bool:
-        return 100 <= int(self) < 300 or int(self) >= 400
+        return 100 <= int(self) < 300 or 400 <= int(self) < 500
 
     def is_semantic(self) -> bool:
         return 300 <= int(self) < 400
+
+    def is_limit(self) -> bool:
+        return int(self) >= 500
 
 
 class Pstate(enum.IntFlag):
@@ -80,12 +93,16 @@ class Pstate(enum.IntFlag):
     ``OK`` means the subtree parsed without error.  ``PARTIAL`` means errors
     occurred but the parser resynchronised and continued.  ``PANIC`` means
     the parser lost track of the input and skipped to a synchronisation
-    point (typically end-of-record).
+    point (typically end-of-record).  ``LIMIT`` means a resource budget
+    (:class:`~repro.core.limits.ParseLimits`) was exhausted somewhere in
+    the subtree — the data may well be fine, but the parser refused to
+    spend more on it.
     """
 
     OK = 0
     PARTIAL = 1
     PANIC = 2
+    LIMIT = 4
 
 
 @dataclass(frozen=True)
@@ -185,6 +202,8 @@ class Pd:
             self.pstate |= Pstate.PARTIAL
             if child.pstate & Pstate.PANIC:
                 self.pstate |= Pstate.PANIC
+            if child.pstate & Pstate.LIMIT:
+                self.pstate |= Pstate.LIMIT
 
     def summary(self) -> str:
         """One-line human-readable summary of this descriptor."""

@@ -33,9 +33,12 @@ from __future__ import annotations
 
 import io as _stdio
 import os
+from time import monotonic
 from typing import BinaryIO, List, Optional, Tuple
 
+from .errors import ErrCode as _EC
 from .errors import Loc
+from .limits import ParseLimits, note_limit
 
 _CHUNK = 1 << 16
 
@@ -237,7 +240,8 @@ class Source:
 
     def __init__(self, data: bytes | None = None, *, stream: Optional[BinaryIO] = None,
                  discipline: Optional[RecordDiscipline] = None,
-                 start: int = 0, end: Optional[int] = None):
+                 start: int = 0, end: Optional[int] = None,
+                 limits: Optional[ParseLimits] = None):
         if (data is None) == (stream is None):
             raise ValueError("provide exactly one of data or stream")
         self._buf = bytearray(data or b"")
@@ -264,27 +268,40 @@ class Source:
         self.rec_next = start
         self._checkpoints = 0
 
+        # Resource budgets (None = unlimited).  ``total_errors`` is the
+        # run-wide data-error count the ``max_errors`` budget draws on;
+        # ``_depth`` tracks compound-parser nesting for ``max_depth``.
+        self.limits: Optional[ParseLimits] = None
+        self._deadline_at: Optional[float] = None
+        self.total_errors = 0
+        self._depth = 0
+        if limits is not None:
+            self.set_limits(limits)
+
     # -- constructors ------------------------------------------------------
 
     @classmethod
-    def from_bytes(cls, data: bytes, discipline: Optional[RecordDiscipline] = None) -> "Source":
-        return cls(data, discipline=discipline)
+    def from_bytes(cls, data: bytes, discipline: Optional[RecordDiscipline] = None,
+                   *, limits: Optional[ParseLimits] = None) -> "Source":
+        return cls(data, discipline=discipline, limits=limits)
 
     @classmethod
-    def from_string(cls, text: str, discipline: Optional[RecordDiscipline] = None) -> "Source":
+    def from_string(cls, text: str, discipline: Optional[RecordDiscipline] = None,
+                    *, limits: Optional[ParseLimits] = None) -> "Source":
         # latin-1: byte-transparent, and consistent with the rest of the
         # runtime (see the module docstring).
-        return cls(text.encode("latin-1"), discipline=discipline)
+        return cls(text.encode("latin-1"), discipline=discipline, limits=limits)
 
     @classmethod
     def from_file(cls, path: str, discipline: Optional[RecordDiscipline] = None,
-                  *, start: int = 0, end: Optional[int] = None) -> "Source":
+                  *, start: int = 0, end: Optional[int] = None,
+                  limits: Optional[ParseLimits] = None) -> "Source":
         """Open ``path``, optionally windowed to the byte range
         ``[start, end)``.  ``start`` must be a record boundary (use
         :func:`plan_chunks` to compute aligned ranges); offsets reported
         in locations remain absolute file offsets."""
         return cls(stream=open(path, "rb"), discipline=discipline,
-                   start=start, end=end)
+                   start=start, end=end, limits=limits)
 
     def close(self) -> None:
         if self._stream is not None:
@@ -398,6 +415,56 @@ class Source:
         if limit is not None:
             return max(0, min(limit - self.pos, n))
         return self._ensure_count(self.pos, n)
+
+    # -- resource budgets ------------------------------------------------------
+
+    def set_limits(self, limits: Optional[ParseLimits]) -> None:
+        """Attach a resource budget; starts the deadline clock now."""
+        self.limits = limits
+        self._deadline_at = None
+        if limits is not None and limits.deadline is not None:
+            self._deadline_at = monotonic() + limits.deadline
+
+    def note_errors(self, n: int) -> None:
+        """Charge ``n`` data errors against the ``max_errors`` budget."""
+        if n:
+            self.total_errors += n
+
+    def deadline_expired(self) -> bool:
+        return self._deadline_at is not None and monotonic() > self._deadline_at
+
+    def abort_to_eof(self) -> None:
+        """Stop the run: close any record scope and move to end of input.
+
+        Used when a run-wide budget (deadline, error count) is exhausted;
+        afterwards ``at_eof`` is True so every record loop terminates.
+        """
+        if self.in_record:
+            self.in_record = False
+        self._read_all()
+        self.pos = self._end()
+
+    def scan_cap(self, default: int) -> int:
+        """Effective recovery-scan window: ``max_scan`` clamped under the
+        engine's built-in cap ``default``."""
+        if self.limits is not None and self.limits.max_scan is not None:
+            return min(default, self.limits.max_scan)
+        return default
+
+    def push_depth(self, pd) -> bool:
+        """Enter one compound-parser level; False when ``max_depth`` would
+        be exceeded (the level is NOT entered, and the refusal is recorded
+        on ``pd`` as a NEST_LIMIT error)."""
+        limits = self.limits
+        if (limits is not None and limits.max_depth is not None
+                and self._depth >= limits.max_depth):
+            note_limit(pd, _EC.NEST_LIMIT, self.here())
+            return False
+        self._depth += 1
+        return True
+
+    def pop_depth(self) -> None:
+        self._depth -= 1
 
     # -- cursor primitives used by base types --------------------------------
 

@@ -32,12 +32,35 @@ from ..expr.eval import Env, EvalError, eval_expr
 from .basetypes.base import BaseType
 from .errors import ErrCode, Loc, Pd, Pstate
 from .io import Source
+from .limits import note_limit, record_guard
 from .masks import Mask, MaskFlag
 from .values import EnumVal, Rec, UnionVal
 
 # How far ahead resynchronisation scans for a literal before giving up and
 # panicking to end-of-record.
 MAX_RESYNC_SCAN = 4096
+
+
+def _depth_guarded(parse):
+    """Wrap a compound node's ``parse`` with the ``max_depth`` budget.
+
+    Without a depth limit this is one attribute test; with one, the level
+    is entered through ``Source.push_depth`` and always released, however
+    the parse returns.  A refused level yields the type's default rep with
+    a NEST_LIMIT pd — the same shape the generated engine emits.
+    """
+    def guarded(self, src: Source, mask: Mask, env: Env):
+        limits = src.limits
+        if limits is None or limits.max_depth is None:
+            return parse(self, src, mask, env)
+        pd = Pd()
+        if not src.push_depth(pd):
+            return self.default(env), pd
+        try:
+            return parse(self, src, mask, env)
+        finally:
+            src.pop_depth()
+    return guarded
 
 
 class PType:
@@ -181,8 +204,14 @@ class LiteralNode(PType):
             return 0 if src.at_eof() else -1
         return -1
 
-    def scan_from(self, src: Source, max_scan: int = MAX_RESYNC_SCAN) -> int:
-        """Offset delta to the literal's next occurrence in scope, else -1."""
+    def scan_from(self, src: Source, max_scan: Optional[int] = None) -> int:
+        """Offset delta to the literal's next occurrence in scope, else -1.
+
+        The default window is :data:`MAX_RESYNC_SCAN` clamped by the
+        source's ``max_scan`` limit when one is set.
+        """
+        if max_scan is None:
+            max_scan = src.scan_cap(MAX_RESYNC_SCAN)
         if self.lit_kind in ("char", "string"):
             abs_at = src.scan_for(self.raw, max_scan)
             return -1 if abs_at < 0 else abs_at - src.pos
@@ -276,6 +305,7 @@ class StructNode(PType):
                 return j, f.node
         return None
 
+    @_depth_guarded
     def parse(self, src: Source, mask: Mask, env: Env):
         pd = Pd()
         scope = env.child()
@@ -622,6 +652,7 @@ class UnionNode(PType):
         self.branches = list(branches)
         self.where = where
 
+    @_depth_guarded
     def parse(self, src: Source, mask: Mask, env: Env):
         pd = Pd()
         start_loc = src.here()
@@ -754,6 +785,7 @@ class SwitchUnionNode(PType):
                 continue
         return default
 
+    @_depth_guarded
     def parse(self, src: Source, mask: Mask, env: Env):
         pd = Pd()
         case = self._pick(env)
@@ -888,6 +920,7 @@ class ArrayNode(PType):
     def _at_term(self, src: Source) -> bool:
         return self.term is not None and self.term.matches_at(src) >= 0
 
+    @_depth_guarded
     def parse(self, src: Source, mask: Mask, env: Env):
         pd = Pd()
         emask = mask.for_elements()
@@ -897,6 +930,7 @@ class ArrayNode(PType):
         except EvalError:
             pd.record_error(ErrCode.ARRAY_SIZE_ERR, src.here(), panic=True)
             return [], pd
+        alim = src.limits.max_array_elems if src.limits is not None else None
         array_env = env.child()
 
         def pred_env() -> Env:
@@ -906,6 +940,9 @@ class ArrayNode(PType):
 
         first = True
         while True:
+            if alim is not None and len(elts) >= alim:
+                note_limit(pd, ErrCode.ARRAY_LIMIT, src.here())
+                break
             if hi is not None and len(elts) >= hi:
                 break
             if self.ended is not None:
@@ -1204,10 +1241,17 @@ class RecordNode(PType):
             pd = Pd()
             pd.record_error(ErrCode.AT_EOF, src.here(), panic=True)
             return self.inner.default(env), pd
+        limits = src.limits
+        if limits is not None:
+            pd = Pd()
+            if not record_guard(src, pd):
+                src.note_errors(pd.nerr)
+                return self.inner.default(env), pd
         fast = self.fast_fn
         if (fast is not None and (mask.bits & 1) and not mask.fields
                 and mask.compound_level is None and mask.elts is None
-                and observe.current_tracer() is None):
+                and observe.current_tracer() is None
+                and (limits is None or limits.fastpath_safe)):
             rep = fast(src.record_bytes(), (mask.bits & 4) != 0)
             if rep is not None:
                 # Clean record: empty descriptor, identical to the general
@@ -1219,6 +1263,8 @@ class RecordNode(PType):
         if not src.at_eor() and mask.do_syn and pd.nerr == 0:
             pd.record_error(ErrCode.EXTRA_DATA_AT_EOR, src.here())
         src.end_record()
+        if limits is not None:
+            src.note_errors(pd.nerr)
         return rep, pd
 
     def write(self, rep, out: List[bytes], env: Env) -> None:

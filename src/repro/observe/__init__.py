@@ -162,6 +162,24 @@ class ParseObserver:
                 "field_skip": self.metrics.value("resync.field_skip"),
                 "array": self.metrics.value("resync.array"),
             },
+            # Limit hits (ParseLimits budgets) and parallel-engine
+            # recovery actions.  Zero-valued keys are always present so
+            # the deterministic document is identical whether a limit or
+            # recovery path was merely *available* or never configured.
+            "limits": {
+                "record_bytes": self.metrics.value("limit.record_bytes"),
+                "array_elems": self.metrics.value("limit.array_elems"),
+                "depth": self.metrics.value("limit.depth"),
+                "scan": self.metrics.value("limit.scan"),
+                "deadline": self.metrics.value("limit.deadline"),
+                "errors": self.metrics.value("limit.errors"),
+            },
+            "recovery": {
+                "chunk_retry": self.metrics.value("parallel.chunk_retry"),
+                "chunk_timeout": self.metrics.value("parallel.chunk_timeout"),
+                "pool_rebuild": self.metrics.value("parallel.pool_rebuild"),
+                "degraded": self.metrics.value("parallel.degraded"),
+            },
         }
         if not deterministic:
             wall = self.elapsed()
@@ -194,6 +212,12 @@ class ParseObserver:
             f"({tp['records_per_sec']:.0f} records/sec, "
             f"{tp['bytes_per_sec']:.0f} bytes/sec)",
         ]
+        if any(s["limits"].values()):
+            lines.append("limits:  " + " ".join(
+                f"{k}: {v}" for k, v in s["limits"].items() if v))
+        if any(s["recovery"].values()):
+            lines.append("recover: " + " ".join(
+                f"{k}: {v}" for k, v in s["recovery"].items() if v))
         for type_name, hist in sorted(s["latency"].items()):
             count_ = hist["count"] if isinstance(hist, dict) else hist
             mean = (hist["sum"] / count_ * 1e6) if isinstance(hist, dict) and count_ else 0.0

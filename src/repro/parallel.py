@@ -39,19 +39,27 @@ from __future__ import annotations
 
 import io as _stdio
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FutTimeout
 from dataclasses import dataclass, replace
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from . import observe
 from .core.errors import ErrorTally
 from .core.io import RecordDiscipline, Source, plan_chunks
+from .core.limits import ParseLimits
 from .tools.accum import DEFAULT_TRACKED, Accumulator
 
 __all__ = [
     "DescSpec", "parallel_records", "parallel_accumulate", "parallel_count",
     "parallel_tally", "tally_records", "shutdown",
 ]
+
+#: Test/fault-injection hook: when set (before the worker pool is
+#: created, so fork-started workers inherit it), every map function calls
+#: it with its task before parsing.  Lets the robustness tests crash or
+#: stall a worker process deterministically; never set in production.
+_WORKER_FAULT: Optional[Callable] = None
 
 
 # -- description specs ---------------------------------------------------------
@@ -67,6 +75,10 @@ class DescSpec:
     ambient: str
     engine: str
     discipline: RecordDiscipline
+    #: Resource budget each worker attaches to its window's Source.  Not
+    #: part of ``key()``: compiled descriptions are limits-independent, so
+    #: changing limits never forces a worker recompile.
+    limits: Optional[ParseLimits] = None
 
     def key(self) -> tuple:
         d = self.discipline
@@ -78,15 +90,16 @@ class DescSpec:
 def _spec_for(description) -> Optional[DescSpec]:
     """Build a spec for a description, or None when it cannot be shipped
     to workers (no source text — e.g. a hand-constructed binding)."""
+    limits = getattr(description, "limits", None)
     module = getattr(description, "module", None)
     if module is not None and hasattr(module, "SOURCE"):
         return DescSpec(module.SOURCE, module.AMBIENT, "generated",
-                        description.discipline)
+                        description.discipline, limits)
     text = getattr(description, "source_text", None)
     ambient = getattr(description, "ambient", None)
     if text is None or ambient is None:
         return None
-    return DescSpec(text, ambient, "interp", description.discipline)
+    return DescSpec(text, ambient, "interp", description.discipline, limits)
 
 
 #: Per-process cache of compiled descriptions.  The parent seeds it with
@@ -124,12 +137,99 @@ def _pool(jobs: int) -> ProcessPoolExecutor:
     return pool
 
 
+def _discard_pool(jobs: int) -> None:
+    """Drop a broken pool without waiting on its (possibly dead or
+    wedged) workers; the next ``_pool(jobs)`` call builds a fresh one."""
+    pool = _POOLS.pop(jobs, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
 def shutdown() -> None:
     """Shut down any worker pools this module created (optional; pools
     are also reaped at interpreter exit)."""
     for pool in _POOLS.values():
         pool.shutdown(wait=True, cancel_futures=True)
     _POOLS.clear()
+
+
+# -- self-healing execution ----------------------------------------------------
+
+
+def _chunk_timeout(spec: Optional[DescSpec]) -> Optional[float]:
+    """Per-chunk wall-clock cap, derived from the data deadline.
+
+    A chunk is at most the whole input, so a worker healthy enough to
+    enforce its own deadline finishes within ``deadline`` plus slack; one
+    that does not answer within 4x (+1s scheduling slack) is wedged and
+    treated like a crashed worker.  Without a deadline there is no cap —
+    hang detection needs a clock to compare against.
+    """
+    if spec is not None and spec.limits is not None \
+            and spec.limits.deadline is not None:
+        return spec.limits.deadline * 4 + 1.0
+    return None
+
+
+def _healing_map(fn: Callable, tasks: Sequence[tuple], jobs: int,
+                 *, timeout: Optional[float] = None) -> Iterator:
+    """``pool.map`` with per-chunk fault recovery, yielding in task order.
+
+    The recovery ladder, each rung counted in the active metrics
+    registry:
+
+    1. a task that *raises* inside a healthy worker is retried serially
+       in-process (``parallel.chunk_retry``) — same map function, same
+       inputs, so results stay byte-identical;
+    2. a *broken* pool (worker killed, unpicklable crash, chunk timeout)
+       is discarded, the failed chunk retried in-process, and the pool
+       rebuilt once (``parallel.pool_rebuild``) for the remaining chunks;
+    3. a second break degrades the whole run to in-process serial
+       execution (``parallel.degraded``).
+
+    Chunks are independent by construction (record-aligned windows), so
+    re-running one in the parent is always equivalent to the worker run.
+    """
+    pending = list(tasks)
+    rebuilds = 0
+    while pending:
+        try:
+            futures = [_pool(jobs).submit(fn, t) for t in pending]
+        except Exception:
+            futures, broken_at = [], 0
+        else:
+            broken_at = None
+            for k, fut in enumerate(futures):
+                try:
+                    yield fut.result(timeout=timeout)
+                    continue
+                except _FutTimeout:
+                    observe.count("parallel.chunk_timeout")
+                    broken_at = k
+                except BrokenExecutor:
+                    broken_at = k
+                except Exception:
+                    # The worker survived; only this task failed.
+                    observe.count("parallel.chunk_retry")
+                    yield fn(pending[k])
+                    continue
+                break
+            if broken_at is None:
+                return
+        for fut in futures[broken_at:]:
+            fut.cancel()
+        _discard_pool(jobs)
+        observe.count("parallel.chunk_retry")
+        yield fn(pending[broken_at])
+        pending = pending[broken_at + 1:]
+        if pending and rebuilds >= 1:
+            observe.count("parallel.degraded")
+            for task in pending:
+                yield fn(task)
+            return
+        rebuilds += 1
+        if pending:
+            observe.count("parallel.pool_rebuild")
 
 
 # -- planning ------------------------------------------------------------------
@@ -151,6 +251,11 @@ def _plan_windows(description, data, jobs: Optional[int],
     discipline = description.discipline
     if not discipline.chunkable or _spec_for(description) is None:
         return None
+    limits = getattr(description, "limits", None)
+    if limits is not None and limits.max_errors is not None:
+        # The error budget is run-global: chunked workers each counting
+        # from zero would diverge from the serial run.  Serial only.
+        return None
     if isinstance(data, os.PathLike):
         path = os.fspath(data)
         size = os.path.getsize(path)
@@ -171,12 +276,16 @@ def _plan_windows(description, data, jobs: Optional[int],
     return None  # an open Source (or anything else): serial only
 
 
-def _open_window(window: tuple, discipline: RecordDiscipline) -> Source:
+def _open_window(window: tuple, discipline: RecordDiscipline,
+                 limits: Optional[ParseLimits] = None) -> Source:
+    # A fresh Source per window means per-chunk limit state: each chunk
+    # gets its own deadline clock (documented per-chunk semantics).
     if window[0] == "file":
         _, path, start, end = window
-        return Source.from_file(path, discipline, start=start, end=end)
+        return Source.from_file(path, discipline, start=start, end=end,
+                                limits=limits)
     _, chunk, offset = window
-    return Source(chunk, discipline=discipline, start=offset)
+    return Source(chunk, discipline=discipline, start=offset, limits=limits)
 
 
 def _serial_input(description, data):
@@ -190,8 +299,10 @@ def _serial_input(description, data):
 
 def _map_records(task) -> tuple:
     spec, window, type_name, mask, meter = task
+    if _WORKER_FAULT is not None:
+        _WORKER_FAULT(task)
     desc = _materialise(spec)
-    src = _open_window(window, desc.discipline)
+    src = _open_window(window, desc.discipline, spec.limits)
     if not meter:
         with src:
             return list(desc.records(src, type_name, mask)), None
@@ -202,8 +313,10 @@ def _map_records(task) -> tuple:
 
 def _map_count(task) -> int:
     spec, window = task
+    if _WORKER_FAULT is not None:
+        _WORKER_FAULT(task)
     desc = _materialise(spec)
-    src = _open_window(window, desc.discipline)
+    src = _open_window(window, desc.discipline, spec.limits)
     with src:
         count = 0
         while src.begin_record():
@@ -214,8 +327,10 @@ def _map_count(task) -> int:
 
 def _map_tally(task) -> tuple:
     spec, window, type_name, mask, meter = task
+    if _WORKER_FAULT is not None:
+        _WORKER_FAULT(task)
     desc = _materialise(spec)
-    src = _open_window(window, desc.discipline)
+    src = _open_window(window, desc.discipline, spec.limits)
 
     def run():
         tally = ErrorTally()
@@ -233,6 +348,8 @@ def _map_tally(task) -> tuple:
 
 def _map_accum(task) -> tuple:
     spec, window, record_type, mask, tracked, summaries, meter = task
+    if _WORKER_FAULT is not None:
+        _WORKER_FAULT(task)
     desc = _materialise(spec)
     acc = Accumulator(desc.node(record_type), "<top>", tracked)
     if summaries:
@@ -241,7 +358,7 @@ def _map_accum(task) -> tuple:
 
     def run():
         tally = ErrorTally()
-        src = _open_window(window, desc.discipline)
+        src = _open_window(window, desc.discipline, spec.limits)
         with src:
             for rep, pd in desc.records(src, record_type, mask):
                 acc.add(rep, pd)
@@ -314,7 +431,8 @@ def parallel_records(description, data, type_name: str, mask=None,
     cur = observe.CURRENT
     tasks = [(spec, w, type_name, mask, cur is not None) for w in windows]
     base = 0
-    for chunk, registry in _pool(jobs).map(_map_records, tasks):
+    for chunk, registry in _healing_map(_map_records, tasks, jobs,
+                                        timeout=_chunk_timeout(spec)):
         if registry is not None and cur is not None:
             cur.metrics.merge(registry)
         cache: dict = {}
@@ -333,7 +451,8 @@ def parallel_count(description, data, *, jobs: Optional[int] = None) -> int:
     spec = _spec_for(description)
     _seed(description, spec)
     tasks = [(spec, w) for w in windows]
-    return sum(_pool(jobs).map(_map_count, tasks))
+    return sum(_healing_map(_map_count, tasks, jobs,
+                            timeout=_chunk_timeout(spec)))
 
 
 def tally_records(description, data, type_name: str, mask=None) -> ErrorTally:
@@ -360,7 +479,8 @@ def parallel_tally(description, data, type_name: str, mask=None,
     tasks = [(spec, w, type_name, mask, cur is not None) for w in windows]
     tally = ErrorTally()
     base = 0
-    for part, registry in _pool(jobs).map(_map_tally, tasks):
+    for part, registry in _healing_map(_map_tally, tasks, jobs,
+                                       timeout=_chunk_timeout(spec)):
         if registry is not None and cur is not None:
             cur.metrics.merge(registry)
         _rebase_tally(part, base)
@@ -424,7 +544,8 @@ def parallel_accumulate(description, data, record_type: str, mask=None,
     cur = observe.CURRENT
     tasks = [(spec, w, record_type, mask, tracked, summaries, cur is not None)
              for w in windows]
-    for part_acc, part_tally, registry in _pool(jobs).map(_map_accum, tasks):
+    for part_acc, part_tally, registry in _healing_map(
+            _map_accum, tasks, jobs, timeout=_chunk_timeout(spec)):
         if registry is not None and cur is not None:
             cur.metrics.merge(registry)
         acc.merge(part_acc)

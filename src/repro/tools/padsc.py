@@ -27,6 +27,7 @@ from .. import observe
 from ..core.api import compile_file
 from ..core.errors import DescriptionError, PadsError
 from ..core.io import FixedWidthRecords, LengthPrefixedRecords, NewlineRecords, NoRecords
+from ..core.limits import ParseLimits
 
 
 def _discipline(args):
@@ -43,12 +44,17 @@ def _discipline(args):
                     "(use newline, none, fixed:<n>, lenprefix:<n>)")
 
 
+def _limits(args) -> Optional[ParseLimits]:
+    spec = getattr(args, "limits", None)
+    return ParseLimits.parse(spec) if spec else None
+
+
 def _load(args):
     if getattr(args, "base_types", None):
         from ..core.basetypes.userdef import load_base_type_files
         load_base_type_files(args.base_types)
     return compile_file(args.description, ambient=args.ambient,
-                        discipline=_discipline(args))
+                        discipline=_discipline(args), limits=_limits(args))
 
 
 def _read_data(args) -> bytes:
@@ -80,7 +86,7 @@ def cmd_check(args) -> int:
         d = _load(args)
     except DescriptionError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return 2
     print(f"{args.description}: ok "
           f"({len(d.type_names)} types, source type {d.source_type})")
     return 0
@@ -189,13 +195,13 @@ def cmd_plan(args) -> int:
         d = _load(args)
     except DescriptionError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return 2
     try:
         print(format_plan(d.plan, args.type))
     except KeyError:
         print(f"padsc: no type named {args.type!r} in description",
               file=sys.stderr)
-        return 1
+        return 2
     return 0
 
 
@@ -271,6 +277,28 @@ def cmd_view(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    """Fault-injection sweep: corrupt conforming data, assert the
+    never-crash invariants (:mod:`repro.faults`)."""
+    from ..faults import fuzz_description, fuzz_gallery
+    limits = _limits(args)
+    if args.gallery:
+        report = fuzz_gallery(n_records=args.count, seed=args.seed,
+                              limits=limits, only=args.only or None)
+    else:
+        if not args.description or not args.record:
+            raise PadsError("fuzz needs a description and --record "
+                            "(or --gallery)")
+        with open(args.description, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        report = fuzz_description(
+            text, args.record, name=args.description, ambient=args.ambient,
+            discipline=_discipline(args), n_records=args.count,
+            seed=args.seed, limits=limits)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def cmd_cobol(args) -> int:
     from .cobol import translate
     with open(args.copybook, "r", encoding="utf-8") as handle:
@@ -306,6 +334,12 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="FILE",
                        help="user base-type specification file "
                             "(repeatable; paper Section 6)")
+        if data:
+            p.add_argument("--limits", metavar="SPEC",
+                           help="resource budget, comma-separated key=value: "
+                                "record-bytes, array, scan, depth, deadline "
+                                "(seconds), errors — limit hits become "
+                                "LIMIT_EXCEEDED pd errors, never crashes")
 
     def jobs_flag(p):
         p.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
@@ -419,6 +453,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="0-based record index (default 0)")
     p.set_defaults(fn=cmd_view)
 
+    p = sub.add_parser("fuzz", help="fault-injection sweep: corrupt "
+                                    "conforming data, assert never-crash")
+    p.add_argument("description", nargs="?",
+                   help="PADS description file (omit with --gallery)")
+    p.add_argument("--gallery", action="store_true",
+                   help="sweep every shipped gallery description")
+    p.add_argument("--only", action="append", metavar="NAME",
+                   help="with --gallery: restrict to this format "
+                        "(repeatable)")
+    p.add_argument("--record", help="record type to fuzz")
+    p.add_argument("--ambient", default="ascii",
+                   choices=["ascii", "binary", "ebcdic"])
+    p.add_argument("--records", default="newline",
+                   help="record discipline: newline, none, fixed:<n>, "
+                        "lenprefix:<n>")
+    p.add_argument("--limits", metavar="SPEC",
+                   help="resource budget applied during the sweep "
+                        "(default: deadline=10,scan=4096)")
+    p.add_argument("-n", "--count", type=int, default=12,
+                   help="conforming records per corrupted source "
+                        "(default 12)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_fuzz)
+
     p = sub.add_parser("cobol", help="translate a Cobol copybook to PADS")
     p.add_argument("copybook")
     p.add_argument("-o", "--output")
@@ -460,8 +518,11 @@ def main(argv: Optional[list] = None) -> int:
     try:
         return _run(args)
     except (PadsError, OSError) as exc:
+        # Usage-level failures (missing/unreadable input, a description
+        # that fails to compile, a bad --limits spec) get one diagnostic
+        # line and argparse's conventional exit code — never a traceback.
         print(f"padsc: {exc}", file=sys.stderr)
-        return 1
+        return 2
 
 
 if __name__ == "__main__":

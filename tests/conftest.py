@@ -1,10 +1,42 @@
-"""Shared fixtures: compiled paper descriptions and tiny helpers."""
+"""Shared fixtures: compiled paper descriptions and tiny helpers.
+
+Also enforces a per-test hang cap: the robustness suite's contract is
+"no hangs", so a test that stalls must fail rather than wedge the run.
+When the ``pytest-timeout`` plugin is installed (CI passes
+``--timeout``), it owns the cap; otherwise a SIGALRM fallback applies
+``TEST_TIMEOUT`` seconds to every test on platforms that support it.
+"""
 
 import random
+import signal
 
 import pytest
 
 from repro import gallery
+
+TEST_TIMEOUT = 180
+
+try:
+    import pytest_timeout  # noqa: F401
+    _HAVE_TIMEOUT_PLUGIN = True
+except ImportError:
+    _HAVE_TIMEOUT_PLUGIN = False
+
+if not _HAVE_TIMEOUT_PLUGIN and hasattr(signal, "SIGALRM"):
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_call(item):
+        def _expired(signum, frame):
+            raise TimeoutError(
+                f"test exceeded the {TEST_TIMEOUT}s hang cap")
+
+        previous = signal.signal(signal.SIGALRM, _expired)
+        signal.alarm(TEST_TIMEOUT)
+        try:
+            yield
+        finally:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")

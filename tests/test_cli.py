@@ -44,7 +44,7 @@ class TestCheckAndCompile:
     def test_check_bad_description(self, tmp_path, capsys):
         path = tmp_path / "bad.pads"
         path.write_text("Pstruct p { Pnosuch x; };")
-        assert main(["check", str(path)]) == 1
+        assert main(["check", str(path)]) == 2
         assert "error" in capsys.readouterr().err
 
     def test_compile_produces_importable_module(self, clf_file, tmp_path, capsys):
@@ -265,6 +265,6 @@ class TestObservabilityFlags:
         data = tmp_path / "d.txt"
         data.write_text("x\n")
         assert main(["accum", str(bad), str(data), "--record", "p",
-                     "--stats"]) == 1
+                     "--stats"]) == 2
         assert main(["query", "/nonexistent.pads", str(data), "/a",
-                     "--stats=json"]) == 1
+                     "--stats=json"]) == 2

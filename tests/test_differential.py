@@ -17,6 +17,7 @@ from repro import Mask, P_Check, P_CheckAndSet, P_Set, gallery, observe
 from repro.codegen import compile_generated
 from repro.core.api import compile_description
 from repro.core.io import FixedWidthRecords
+from repro.core.limits import ParseLimits
 from repro.core.masks import MaskFlag
 from repro.tools.accum import Accumulator
 from repro.tools.datagen import (
@@ -195,6 +196,63 @@ class TestPlanDrivenAgainstReference:
         assert report(gen) == base
         acc, _hdr, _tally = interp.accumulate_parallel(data, rtype, jobs=JOBS)
         assert acc.full_report() == base
+
+
+@pytest.mark.parametrize("name", list(CASES))
+class TestLimitsAgree:
+    """The whole sweep again with a ParseLimits budget attached: limits
+    must not perturb clean parses, and limit *hits* must be identical
+    across the interpreter, the generated engine, and the parallel path.
+    """
+
+    #: Generous enough that conforming records never trip, so results
+    #: must match the unlimited run byte for byte.
+    GENEROUS = ParseLimits(max_record_bytes=1 << 20, max_array_elems=10_000,
+                           max_scan=4096, max_depth=64)
+    #: Tight enough that every record trips (record cap below any real
+    #: record) — both engines must report the identical RECORD_LIMIT pds.
+    TIGHT = ParseLimits(max_record_bytes=4)
+
+    @pytest.fixture()
+    def limited(self, cases, name):
+        """The case's engines with limits attached, restored afterwards
+        (the ``cases`` fixture is module-scoped)."""
+        interp, gen, data, rtype = cases[name]
+        try:
+            yield interp, gen, data, rtype
+        finally:
+            interp.limits = None
+            gen.limits = None
+
+    def test_generous_limits_change_nothing(self, cases, limited, name):
+        interp, gen, data, rtype = limited
+        base_reps, base_pds, base_stats = run_records(
+            cases[name][0], data, rtype, metered=True)
+        interp.limits = gen.limits = self.GENEROUS
+        for engine in (interp, gen):
+            for parallel in (False, True):
+                reps, pds, stats = run_records(engine, data, rtype,
+                                               parallel=parallel,
+                                               metered=True)
+                assert reps == base_reps
+                assert pds == base_pds
+                assert stats == base_stats
+
+    def test_tight_limits_identical_across_engines(self, limited):
+        interp, gen, data, rtype = limited
+        interp.limits = gen.limits = self.TIGHT
+        i_reps, i_pds, i_stats = run_records(interp, data, rtype,
+                                             metered=True)
+        assert i_stats["limits"]["record_bytes"] > 0
+        # Every summary's top-level err_code is RECORD_LIMIT (501).
+        assert all(summary[2] == 501 for summary in i_pds)
+        for parallel in (False, True):
+            g_reps, g_pds, g_stats = run_records(gen, data, rtype,
+                                                 parallel=parallel,
+                                                 metered=True)
+            assert g_reps == i_reps
+            assert g_pds == i_pds
+            assert g_stats == i_stats
 
 
 @pytest.mark.parametrize("name", ["clf", "sirius"])

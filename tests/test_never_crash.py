@@ -1,0 +1,58 @@
+"""Hypothesis sweep: both engines never raise on arbitrary byte strings.
+
+The generative twin of the corpus test in ``test_robustness.py``: for
+every gallery description, arbitrary binary inputs must produce parse
+descriptors — never exceptions, hangs or broken pd accounting.  Runs
+under a ParseLimits budget, as production parsers of untrusted data
+should.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen import compile_generated
+from repro.core.api import compile_description
+from repro.core.limits import ParseLimits
+from repro.faults import GALLERY_TARGETS, _never_crash
+
+_LIMITS = ParseLimits(deadline=10.0, max_scan=4096)
+_ENGINES: dict = {}
+
+
+def _engines(name):
+    """Both engines for a gallery target, compiled once per session."""
+    if name not in _ENGINES:
+        _name, text, rtype, ambient, discipline = next(
+            t for t in GALLERY_TARGETS if t[0] == name)
+        _ENGINES[name] = (
+            rtype,
+            compile_description(text, ambient=ambient, discipline=discipline,
+                                limits=_LIMITS),
+            compile_generated(text, ambient=ambient, discipline=discipline,
+                              limits=_LIMITS),
+        )
+    return _ENGINES[name]
+
+
+@pytest.mark.parametrize("name", [t[0] for t in GALLERY_TARGETS])
+@settings(max_examples=25, deadline=None)
+@given(data=st.binary(max_size=300))
+def test_engines_never_raise_on_arbitrary_bytes(name, data):
+    rtype, interp, gen = _engines(name)
+    for label, engine in (("interp", interp), ("generated", gen)):
+        _count, _errors, violation = _never_crash(engine, data, rtype, 30.0)
+        assert violation is None, (name, label, violation, data)
+
+
+@pytest.mark.parametrize("name", [t[0] for t in GALLERY_TARGETS])
+@settings(max_examples=15, deadline=None)
+@given(lines=st.lists(st.binary(max_size=40), max_size=8))
+def test_engines_never_raise_on_line_shaped_noise(name, lines):
+    # Newline-framed garbage exercises the record loop and resync paths
+    # harder than flat binaries.
+    data = b"\n".join(lines) + b"\n" if lines else b""
+    rtype, interp, gen = _engines(name)
+    for label, engine in (("interp", interp), ("generated", gen)):
+        _count, _errors, violation = _never_crash(engine, data, rtype, 30.0)
+        assert violation is None, (name, label, violation, data)

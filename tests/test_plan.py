@@ -271,7 +271,7 @@ class TestPlanCLI:
 
     def test_unknown_type(self, clf_path, capsys):
         from repro.tools.padsc import main
-        assert main(["plan", clf_path, "--type", "nope"]) == 1
+        assert main(["plan", clf_path, "--type", "nope"]) == 2
         assert "no type named" in capsys.readouterr().err
 
     def test_format_plan_shows_widths(self):
