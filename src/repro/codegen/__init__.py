@@ -211,6 +211,29 @@ class GeneratedDescription:
             count += 1
         return count
 
+    # -- streaming entry points ---------------------------------------------------
+    #
+    # Bounded-memory twins (:mod:`repro.stream`): read pipes, sockets and
+    # growing files through a sliding window, O(window) memory.
+
+    def records_stream(self, data, type_name: str,
+                       mask: Optional[Mask] = None, **opts):
+        """Bounded-memory record stream (``records`` twin).  ``opts``:
+        ``window``, ``follow``, ``poll_interval``, ``idle_timeout``."""
+        from ..stream import records_stream
+        return records_stream(self, data, type_name, mask, **opts)
+
+    def accumulate_stream(self, data, record_type: str,
+                          mask: Optional[Mask] = None, **opts):
+        """Bounded-memory accumulation: returns ``(acc, tally)``."""
+        from ..stream import accumulate_stream
+        return accumulate_stream(self, data, record_type, mask, **opts)
+
+    def count_records_stream(self, data, **opts) -> int:
+        """Bounded-memory record counting (``count_records`` twin)."""
+        from ..stream import count_records_stream
+        return count_records_stream(self, data, **opts)
+
     # -- parallel entry points ----------------------------------------------------
     #
     # Chunked map-reduce twins (:mod:`repro.parallel`); workers rebuild

@@ -20,7 +20,17 @@ arbitrary byte offset declare ``chunkable = True`` and implement
 ``align``, and :func:`plan_chunks` uses that to split an input into
 record-aligned byte ranges.  A :class:`Source` can be opened over such a
 range (``start``/``end``), in which case it reports absolute offsets but
-behaves as if the window were the whole input.
+behaves as if the window were the whole input.  Chunkable disciplines
+additionally implement ``cut``, which locates the last record boundary
+inside an in-memory buffer — what the streaming feeder uses to carve a
+live stream into worker chunks without seeking.
+
+For inputs that cannot be slurped or seeked at all — pipes, sockets,
+``tail -f``-style growing files — :class:`StreamSource` parses through a
+*sliding window*: bytes are pulled on demand in window-sized refills and
+retired as soon as the record that owned them is sealed, so memory stays
+O(window + largest record) no matter how large (or endless) the input
+is.  See :mod:`repro.stream` for the user-facing entry points.
 
 Text handling note: strings given to the runtime are encoded **latin-1**
 everywhere (``Source.from_string``, ``CompiledDescription.open``).
@@ -33,9 +43,10 @@ from __future__ import annotations
 
 import io as _stdio
 import os
-from time import monotonic
+from time import monotonic, sleep
 from typing import BinaryIO, List, Optional, Tuple
 
+from .. import observe
 from .errors import ErrCode as _EC
 from .errors import Loc
 from .limits import ParseLimits, note_limit
@@ -97,6 +108,17 @@ class RecordDiscipline:
         """
         return None
 
+    def cut(self, buf: bytes) -> Optional[int]:
+        """Length of the longest prefix of ``buf`` ending on a record
+        boundary, assuming ``buf`` itself starts on one.
+
+        This is the streaming twin of ``align``: it lets a feeder carve
+        worker chunks out of a live, unseekable stream.  Returns 0 when
+        no complete record is buffered yet and ``None`` when the
+        discipline cannot cut (``chunkable`` is False).
+        """
+        return None
+
     def trailer(self, content: bytes) -> bytes:
         """Bytes to append after a record's payload when writing."""
         return b""
@@ -135,6 +157,9 @@ class NewlineRecords(RecordDiscipline):
                 return min(pos + idx + 1, size)
             pos += len(chunk)
 
+    def cut(self, buf: bytes) -> Optional[int]:
+        return buf.rfind(b"\n") + 1
+
     def bounds(self, src: "Source", pos: int):
         if not src._ensure(pos, 1):
             return None
@@ -170,6 +195,9 @@ class FixedWidthRecords(RecordDiscipline):
         # a short final record belongs to the last chunk.
         return min(origin + -(-(offset - origin) // self.width) * self.width,
                    size)
+
+    def cut(self, buf: bytes) -> Optional[int]:
+        return len(buf) - len(buf) % self.width
 
     def bounds(self, src: "Source", pos: int):
         if not src._ensure(pos, 1):
@@ -247,7 +275,12 @@ class Source:
         self._buf = bytearray(data or b"")
         self._base = 0  # absolute offset of _buf[0]
         self._stream = stream
+        self._owns_stream = True
         self._eof = stream is None
+        #: How far speculative refills (boundary search, span scanning)
+        #: read past the bytes actually requested.  StreamSource lowers
+        #: this to its window so buffering stays bounded.
+        self._readahead = _CHUNK
         self.pos = 0
         self.discipline: RecordDiscipline = discipline or NewlineRecords()
         # Window bounds: the cursor works in absolute offsets of the whole
@@ -293,6 +326,15 @@ class Source:
         return cls(text.encode("latin-1"), discipline=discipline, limits=limits)
 
     @classmethod
+    def from_stream(cls, stream: BinaryIO,
+                    discipline: Optional[RecordDiscipline] = None,
+                    **kwargs) -> "StreamSource":
+        """Open an unseekable byte stream (pipe, socket file, growing
+        file) through a bounded sliding window; see :class:`StreamSource`
+        for the keyword options (``window``, ``follow``, ...)."""
+        return StreamSource(stream, discipline, **kwargs)
+
+    @classmethod
     def from_file(cls, path: str, discipline: Optional[RecordDiscipline] = None,
                   *, start: int = 0, end: Optional[int] = None,
                   limits: Optional[ParseLimits] = None) -> "Source":
@@ -305,7 +347,8 @@ class Source:
 
     def close(self) -> None:
         if self._stream is not None:
-            self._stream.close()
+            if self._owns_stream:
+                self._stream.close()
             self._stream = None
             self._eof = True
 
@@ -389,7 +432,7 @@ class Source:
             # Re-scan the tail that could straddle the chunk boundary.
             search_from = max(start, self._end() - len(needle) + 1)
             before = self._end()
-            self._fill(self._end() + _CHUNK)
+            self._fill(self._end() + self._readahead)
             if self._end() == before:
                 return -1
 
@@ -564,7 +607,7 @@ class Source:
             if self._eof:
                 break
             before = self._end()
-            self._fill(self._end() + _CHUNK)
+            self._fill(self._end() + self._readahead)
             if self._end() == before:
                 break
         return self._slice(start, self.pos)
@@ -652,6 +695,155 @@ class Source:
 
     def here(self) -> Loc:
         return Loc(self.pos, self.pos, self.record_idx)
+
+
+# -- streaming ----------------------------------------------------------------
+
+#: Default sliding-window size for streaming sources (1 MiB): large
+#: enough that refill overhead vanishes, small enough that a thousand
+#: concurrent streams fit in a few GB.
+DEFAULT_STREAM_WINDOW = 1 << 20
+
+
+class StreamSource(Source):
+    """A :class:`Source` over an unseekable byte stream with bounded
+    buffering — the record-at-a-time entry point the paper promises for
+    multi-gigabyte feeds, without ever materializing the input.
+
+    Three behaviours distinguish it from a plain stream-backed
+    :class:`Source`:
+
+    * **Sliding window.**  Refills pull at most ``window`` bytes at a
+      time (speculative readahead is clamped to the window too), and
+      bytes behind the current record are retired eagerly once the
+      record is sealed, so peak buffering is O(window + largest record)
+      regardless of input size.  The window is a working-set target, not
+      a hard cap: one record longer than the window is still parsed
+      correctly (and shows up in the high-water mark); combine with
+      ``ParseLimits.max_record_bytes`` for a hard bound.  When
+      ``limits.max_scan`` is larger than the window, the window is
+      widened to it so a maximal error-recovery scan never thrashes.
+    * **Tail mode.**  ``follow=True`` turns end-of-stream into a poll:
+      the source sleeps ``poll_interval`` seconds and retries — the
+      ``tail -f`` discipline for growing files — reporting EOF only
+      after ``idle_timeout`` seconds pass with no new data (or never,
+      when ``idle_timeout`` is None).
+    * **Instrumentation.**  Refills, stalls (polls that found no data)
+      and the buffer high-water mark are counted on the instance
+      (``refills``/``stalls``/``high_water``) and, when observability is
+      enabled, in the ``stream.*`` metrics.
+
+    Record disciplines are refill-transparent: boundary searches rescan
+    the straddling tail after every refill, so a record split across any
+    refill boundary parses byte-identically to the slurped path (pinned
+    by the differential sweep in ``tests/test_stream.py``).
+    """
+
+    def __init__(self, stream: BinaryIO,
+                 discipline: Optional[RecordDiscipline] = None, *,
+                 window: int = DEFAULT_STREAM_WINDOW,
+                 follow: bool = False,
+                 poll_interval: float = 0.05,
+                 idle_timeout: Optional[float] = None,
+                 limits: Optional[ParseLimits] = None,
+                 owns_stream: bool = False):
+        super().__init__(stream=stream, discipline=discipline, limits=limits)
+        self._owns_stream = owns_stream
+        if limits is not None and limits.max_scan:
+            window = max(window, limits.max_scan)
+        self.window = max(1, window)
+        self._refill = max(1, min(self.window, _CHUNK))
+        self._readahead = self._refill
+        self._trim_at = max(1, self._refill // 2)
+        self.follow = follow
+        self.poll_interval = poll_interval
+        self.idle_timeout = idle_timeout
+        # ``read1`` (when the stream has it) returns whatever bytes are
+        # ready instead of blocking for a full ``n`` — lower latency on
+        # pipes and growing files.
+        self._read = getattr(stream, "read1", None) or stream.read
+        self.refills = 0
+        self.stalls = 0
+        self.high_water = 0
+
+    # -- instrumentation ---------------------------------------------------
+
+    def _note_refill(self) -> None:
+        self.refills += 1
+        buffered = len(self._buf)
+        if buffered > self.high_water:
+            self.high_water = buffered
+        obs = observe.CURRENT
+        if obs is not None:
+            m = obs.metrics
+            m.counter("stream.refills").inc()
+            m.gauge("stream.bytes_buffered").set(buffered)
+            hw = m.gauge("stream.high_water")
+            if buffered > hw.value:
+                hw.set(buffered)
+
+    def _note_stall(self) -> None:
+        self.stalls += 1
+        obs = observe.CURRENT
+        if obs is not None:
+            obs.metrics.counter("stream.stalls").inc()
+
+    # -- sliding-window buffer management ----------------------------------
+
+    def _fill(self, want: int) -> None:
+        cap = self._hard_end
+        if cap is not None and want > cap:
+            want = cap
+        idle_since = None
+        while not self._eof and self._end() < want:
+            n = max(want - self._end(), self._refill)
+            if cap is not None:
+                n = min(n, cap - self._end())
+                if n <= 0:
+                    break
+            chunk = self._read(n)
+            if chunk:
+                self._buf.extend(chunk)
+                self._note_refill()
+                idle_since = None
+                continue
+            if not self.follow:
+                self._eof = True
+                break
+            # Tail mode: no data *yet*.  Poll until new bytes appear or
+            # the idle timeout expires (then: clean EOF).
+            self._note_stall()
+            now = monotonic()
+            if idle_since is None:
+                idle_since = now
+            elif (self.idle_timeout is not None
+                    and now - idle_since >= self.idle_timeout):
+                self._eof = True
+                break
+            sleep(self.poll_interval)
+
+    def _read_all(self) -> None:
+        # Route through _fill so follow/stall accounting stays uniform.
+        while not self._eof:
+            before = self._end()
+            self._fill(before + self._refill)
+            if self._end() == before:
+                break
+
+    def _trim(self) -> None:
+        if self._checkpoints:
+            return
+        keep_from = min(self.pos, self.rec_start if self.in_record else self.pos)
+        drop = keep_from - self._base
+        # Retire eagerly (half a refill instead of a whole chunk): the
+        # memmove is amortized and the buffer never holds more than the
+        # window plus one refill of already-consumed bytes.
+        if drop >= self._trim_at:
+            del self._buf[:drop]
+            self._base = keep_from
+            obs = observe.CURRENT
+            if obs is not None:
+                obs.metrics.gauge("stream.bytes_buffered").set(len(self._buf))
 
 
 # -- chunk planning -----------------------------------------------------------

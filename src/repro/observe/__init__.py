@@ -180,6 +180,16 @@ class ParseObserver:
                 "pool_rebuild": self.metrics.value("parallel.pool_rebuild"),
                 "degraded": self.metrics.value("parallel.degraded"),
             },
+            # Sliding-window streaming (repro.stream).  ``high_water`` is
+            # the peak bytes buffered across every StreamSource that ran
+            # under this observer — the number the bounded-memory
+            # acceptance tests assert against.
+            "stream": {
+                "refills": self.metrics.value("stream.refills"),
+                "stalls": self.metrics.value("stream.stalls"),
+                "bytes_buffered": self.metrics.value("stream.bytes_buffered"),
+                "high_water": self.metrics.value("stream.high_water"),
+            },
         }
         if not deterministic:
             wall = self.elapsed()
@@ -218,6 +228,10 @@ class ParseObserver:
         if any(s["recovery"].values()):
             lines.append("recover: " + " ".join(
                 f"{k}: {v}" for k, v in s["recovery"].items() if v))
+        if s["stream"]["refills"] or s["stream"]["stalls"]:
+            lines.append(f"stream:  refills: {s['stream']['refills']} "
+                         f"stalls: {s['stream']['stalls']} "
+                         f"high-water: {s['stream']['high_water']}")
         for type_name, hist in sorted(s["latency"].items()):
             count_ = hist["count"] if isinstance(hist, dict) else hist
             mean = (hist["sum"] / count_ * 1e6) if isinstance(hist, dict) and count_ else 0.0

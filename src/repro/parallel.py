@@ -45,7 +45,7 @@ from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from . import observe
-from .core.errors import ErrorTally
+from .core.errors import ErrorTally, PadsError
 from .core.io import RecordDiscipline, Source, plan_chunks
 from .core.limits import ParseLimits
 from .tools.accum import DEFAULT_TRACKED, Accumulator
@@ -53,6 +53,8 @@ from .tools.accum import DEFAULT_TRACKED, Accumulator
 __all__ = [
     "DescSpec", "parallel_records", "parallel_accumulate", "parallel_count",
     "parallel_tally", "tally_records", "shutdown",
+    "parallel_records_stream", "parallel_count_stream",
+    "parallel_accumulate_stream", "STREAM_CHUNK_BYTES",
 ]
 
 #: Test/fault-injection hook: when set (before the worker pool is
@@ -60,6 +62,14 @@ __all__ = [
 #: it with its task before parsing.  Lets the robustness tests crash or
 #: stall a worker process deterministically; never set in production.
 _WORKER_FAULT: Optional[Callable] = None
+
+#: Test hook: overrides the wedge-detection cap :func:`_chunk_timeout`
+#: derives from the data deadline.  Decoupling the two matters under
+#: load: a data deadline tight enough to make wedge detection fast is
+#: also tight enough for *healthy* workers to trip while parsing real
+#: data, which silently truncates their chunks.  Tests set this instead
+#: of a deadline, so wedge detection gets a clock of its own.
+_WEDGE_TIMEOUT: Optional[float] = None
 
 
 # -- description specs ---------------------------------------------------------
@@ -163,8 +173,11 @@ def _chunk_timeout(spec: Optional[DescSpec]) -> Optional[float]:
     enforce its own deadline finishes within ``deadline`` plus slack; one
     that does not answer within 4x (+1s scheduling slack) is wedged and
     treated like a crashed worker.  Without a deadline there is no cap —
-    hang detection needs a clock to compare against.
+    hang detection needs a clock to compare against — unless the
+    :data:`_WEDGE_TIMEOUT` hook supplies one directly.
     """
+    if _WEDGE_TIMEOUT is not None:
+        return _WEDGE_TIMEOUT
     if spec is not None and spec.limits is not None \
             and spec.limits.deadline is not None:
         return spec.limits.deadline * 4 + 1.0
@@ -553,3 +566,221 @@ def parallel_accumulate(description, data, record_type: str, mask=None,
         base += part_tally.records
         tally.merge(part_tally)
     return acc, header_acc, tally
+
+
+# -- pipelined streaming --------------------------------------------------------
+#
+# The streaming twins of the entry points above.  ``plan_chunks`` needs a
+# seekable file of known size; a live stream (pipe, socket, growing file)
+# has neither, so the feeder below carves record-aligned chunks *as the
+# bytes arrive* using the discipline's ``cut`` and ships each batch to
+# the pool without waiting for EOF.  Unlike the seekable entry points
+# these do NOT silently degrade to serial when the stream cannot be
+# chunked — a caller who asked for jobs on a stream gets a
+# :class:`PadsError` diagnostic instead (the CLI turns it into exit 2).
+# The serial path is used only where it is exact policy: ``jobs <= 1``,
+# an active tracer, or an already-open :class:`Source`.
+
+#: Target bytes per shipped chunk.  Large enough to amortise pickling
+#: and per-chunk pool overhead, small enough that a batch of
+#: ``jobs`` chunks stays a modest working set in the parent.
+STREAM_CHUNK_BYTES = 1 << 20
+
+
+def _require_streamable(description, spec: Optional[DescSpec]) -> None:
+    """Raise the explicit never-silently-degrade diagnostics."""
+    discipline = description.discipline
+    if not discipline.chunkable or discipline.cut(b"") is None:
+        raise PadsError(
+            f"cannot split a {type(discipline).__name__} stream at record "
+            "boundaries; run with jobs=1 or use a seekable file")
+    if spec is None:
+        raise PadsError("description has no source text to ship to "
+                        "workers; run with jobs=1")
+    limits = getattr(description, "limits", None)
+    if limits is not None and limits.max_errors is not None:
+        raise PadsError("a global max_errors budget requires serial "
+                        "parsing; run with jobs=1")
+
+
+def _binary_stream(data) -> Tuple[object, bool]:
+    """Normalise feeder input to a readable binary object.  Returns
+    ``(stream, owns)``; ``owns`` means the feeder should close it."""
+    if hasattr(data, "read"):
+        return data, False
+    if isinstance(data, (str, os.PathLike)):
+        return open(os.fspath(data), "rb"), True
+    if isinstance(data, int) and not isinstance(data, bool):
+        return os.fdopen(data, "rb"), True
+    if hasattr(data, "makefile"):  # socket.socket
+        return data.makefile("rb"), True
+    raise PadsError(f"cannot stream from {type(data).__name__!r}: need a "
+                    "path, fd, socket, or a readable binary object")
+
+
+def _stream_chunks(stream, discipline: RecordDiscipline,
+                   chunk_bytes: int = STREAM_CHUNK_BYTES) -> Iterator[tuple]:
+    """Carve a live stream into record-aligned ``(chunk, offset)`` pieces.
+
+    Accumulates at least ``chunk_bytes`` and cuts at the last record
+    boundary (``discipline.cut``); the tail past the boundary seeds the
+    next chunk, so no record is ever split between workers.  The final
+    piece may end mid-record (truncated input) — workers report that the
+    same way the serial parse would.
+    """
+    read = getattr(stream, "read1", None) or stream.read
+    buf = bytearray()
+    offset = 0
+    while True:
+        data = read(max(chunk_bytes - len(buf), 1))
+        if not data:
+            break
+        buf += data
+        if len(buf) < chunk_bytes:
+            continue
+        cut = discipline.cut(buf)
+        if cut:
+            yield bytes(buf[:cut]), offset
+            offset += cut
+            del buf[:cut]
+    if buf:
+        yield bytes(buf), offset
+
+
+def _batches(iterable, size: int) -> Iterator[list]:
+    batch: list = []
+    for item in iterable:
+        batch.append(item)
+        if len(batch) == size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+def parallel_records_stream(description, data, type_name: str, mask=None,
+                            *, jobs: Optional[int] = None,
+                            chunk_bytes: int = STREAM_CHUNK_BYTES
+                            ) -> Iterator[tuple]:
+    """Pipelined parallel twin of ``records_stream``: batches of ``jobs``
+    record-aligned chunks flow through :func:`_healing_map` as the stream
+    delivers them, yielding ``(rep, pd)`` pairs in input order."""
+    if isinstance(data, Source):
+        yield from description.records(data, type_name, mask)
+        return
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    cur = observe.CURRENT
+    if jobs <= 1 or (cur is not None and cur.tracer is not None):
+        from .stream import records_stream
+        yield from records_stream(description, data, type_name, mask)
+        return
+    spec = _spec_for(description)
+    _require_streamable(description, spec)
+    _seed(description, spec)
+    stream, owns = _binary_stream(data)
+    base = 0
+    try:
+        for batch in _batches(
+                _stream_chunks(stream, description.discipline, chunk_bytes),
+                jobs):
+            tasks = [(spec, ("bytes", chunk, off), type_name, mask,
+                      cur is not None) for chunk, off in batch]
+            for chunk_out, registry in _healing_map(
+                    _map_records, tasks, jobs, timeout=_chunk_timeout(spec)):
+                if registry is not None and cur is not None:
+                    cur.metrics.merge(registry)
+                cache: dict = {}
+                for rep, pd in chunk_out:
+                    _rebase_pd(pd, base, cache)
+                    yield rep, pd
+                base += len(chunk_out)
+    finally:
+        if owns:
+            stream.close()
+
+
+def parallel_count_stream(description, data, *, jobs: Optional[int] = None,
+                          chunk_bytes: int = STREAM_CHUNK_BYTES) -> int:
+    """Pipelined parallel twin of ``count_records_stream``."""
+    if isinstance(data, Source):
+        return description.count_records(data)
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    cur = observe.CURRENT
+    if jobs <= 1 or (cur is not None and cur.tracer is not None):
+        from .stream import count_records_stream
+        return count_records_stream(description, data)
+    spec = _spec_for(description)
+    _require_streamable(description, spec)
+    _seed(description, spec)
+    stream, owns = _binary_stream(data)
+    total = 0
+    try:
+        for batch in _batches(
+                _stream_chunks(stream, description.discipline, chunk_bytes),
+                jobs):
+            tasks = [(spec, ("bytes", chunk, off)) for chunk, off in batch]
+            total += sum(_healing_map(_map_count, tasks, jobs,
+                                      timeout=_chunk_timeout(spec)))
+    finally:
+        if owns:
+            stream.close()
+    return total
+
+
+def parallel_accumulate_stream(description, data, record_type: str,
+                               mask=None, *, jobs: Optional[int] = None,
+                               tracked: int = DEFAULT_TRACKED,
+                               summaries: bool = False,
+                               chunk_bytes: int = STREAM_CHUNK_BYTES):
+    """Pipelined parallel twin of ``accumulate_stream``: returns
+    ``(acc, tally)`` where ``tally.records`` is the record count.
+    Streams have no random access, so header types (which need a serial
+    prefix parse plus seekable chunk planning) are not supported here."""
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    cur = observe.CURRENT
+    if isinstance(data, Source):
+        acc = Accumulator(description.node(record_type), "<top>", tracked)
+        if summaries:
+            from .tools.summaries import attach_summaries
+            attach_summaries(acc)
+        tally = ErrorTally()
+        for rep, pd in description.records(data, record_type, mask):
+            acc.add(rep, pd)
+            tally.add(pd)
+        return acc, tally
+    if jobs <= 1 or (cur is not None and cur.tracer is not None):
+        from .stream import accumulate_stream
+        return accumulate_stream(description, data, record_type, mask,
+                                 tracked=tracked, summaries=summaries)
+    spec = _spec_for(description)
+    _require_streamable(description, spec)
+    _seed(description, spec)
+    acc = Accumulator(description.node(record_type), "<top>", tracked)
+    if summaries:
+        from .tools.summaries import attach_summaries
+        attach_summaries(acc)
+    tally = ErrorTally()
+    stream, owns = _binary_stream(data)
+    base = 0
+    try:
+        for batch in _batches(
+                _stream_chunks(stream, description.discipline, chunk_bytes),
+                jobs):
+            tasks = [(spec, ("bytes", chunk, off), record_type, mask,
+                      tracked, summaries, cur is not None)
+                     for chunk, off in batch]
+            for part_acc, part_tally, registry in _healing_map(
+                    _map_accum, tasks, jobs, timeout=_chunk_timeout(spec)):
+                if registry is not None and cur is not None:
+                    cur.metrics.merge(registry)
+                acc.merge(part_acc)
+                _rebase_tally(part_tally, base)
+                base += part_tally.records
+                tally.merge(part_tally)
+    finally:
+        if owns:
+            stream.close()
+    return acc, tally

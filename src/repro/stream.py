@@ -1,0 +1,156 @@
+"""``repro.stream`` — bounded-memory incremental parsing.
+
+The paper's generated libraries expose *record-at-a-time* entry points
+precisely so that multi-gigabyte feeds (the 2.2 GB Sirius stream, web
+logs) never have to fit in memory.  This module is that regime's front
+door: it parses from **pipes, sockets and growing files** through a
+sliding window (:class:`repro.core.io.StreamSource`), keeping O(window)
+bytes resident regardless of input size, and — for chunkable record
+disciplines — can pipeline a live stream into the parallel engine
+without waiting for EOF (:func:`repro.parallel.parallel_records_stream`).
+
+Entry points (also exposed as ``records_stream`` / ``accumulate_stream``
+methods on both compiled-description engines)::
+
+    import sys
+    from repro import compile_description
+    from repro.stream import records_stream
+
+    clf = compile_description(CLF)
+    for rep, pd in records_stream(clf, sys.stdin.buffer, "entry_t"):
+        ...                       # one record resident at a time
+
+    # tail -f a growing log, giving up after 5 idle seconds
+    for rep, pd in clf.records_stream("/var/log/access.log", "entry_t",
+                                      follow=True, idle_timeout=5.0):
+        ...
+
+Memory model, window sizing and the follow discipline are documented in
+``docs/STREAMING.md``; the ``stream.*`` observability counters in
+``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator, Optional, Tuple
+
+from .core.errors import ErrorTally, PadsError, Pd
+from .core.io import (
+    DEFAULT_STREAM_WINDOW,
+    RecordDiscipline,
+    Source,
+    StreamSource,
+)
+from .core.limits import ParseLimits
+from .tools.accum import DEFAULT_TRACKED, Accumulator
+
+__all__ = [
+    "DEFAULT_STREAM_WINDOW", "StreamSource", "open_stream",
+    "records_stream", "accumulate_stream", "count_records_stream",
+]
+
+
+def open_stream(data, discipline: Optional[RecordDiscipline] = None, *,
+                window: Optional[int] = None,
+                follow: bool = False,
+                poll_interval: float = 0.05,
+                idle_timeout: Optional[float] = None,
+                limits: Optional[ParseLimits] = None) -> StreamSource:
+    """Build a :class:`StreamSource` from whatever the caller has.
+
+    ``data`` may be a path (opened and owned), an integer file
+    descriptor, a socket (read through ``makefile("rb")``), any object
+    with a ``read`` method (pipes, ``sys.stdin.buffer``), or an
+    already-open :class:`StreamSource` (passed through unchanged —
+    the per-call options are ignored in that case).
+    """
+    if isinstance(data, StreamSource):
+        return data
+    kwargs = dict(window=window if window is not None else DEFAULT_STREAM_WINDOW,
+                  follow=follow, poll_interval=poll_interval,
+                  idle_timeout=idle_timeout, limits=limits)
+    if isinstance(data, (str, os.PathLike)):
+        return StreamSource(open(os.fspath(data), "rb"), discipline,
+                            owns_stream=True, **kwargs)
+    if isinstance(data, int) and not isinstance(data, bool):
+        return StreamSource(os.fdopen(data, "rb"), discipline,
+                            owns_stream=True, **kwargs)
+    if hasattr(data, "makefile"):  # socket.socket
+        return StreamSource(data.makefile("rb"), discipline,
+                            owns_stream=True, **kwargs)
+    if hasattr(data, "read"):
+        return StreamSource(data, discipline, **kwargs)
+    raise PadsError(f"cannot stream from {type(data).__name__!r}: need a "
+                    "path, fd, socket, or a readable binary object")
+
+
+def records_stream(description, data, type_name: str, mask=None, *,
+                   window: Optional[int] = None,
+                   follow: bool = False,
+                   poll_interval: float = 0.05,
+                   idle_timeout: Optional[float] = None,
+                   ) -> Iterator[Tuple[object, Pd]]:
+    """Bounded-memory twin of ``description.records``.
+
+    Yields ``(rep, pd)`` pairs exactly as the slurped path would (the
+    differential sweep in ``tests/test_stream.py`` pins them
+    byte-identical), but reads through a sliding window, so a feed of
+    any size — or an endless one under ``follow=True`` — parses in
+    O(window) memory.  The source is closed when the iterator is
+    exhausted or dropped.
+    """
+    src = open_stream(data, description.discipline, window=window,
+                      follow=follow, poll_interval=poll_interval,
+                      idle_timeout=idle_timeout,
+                      limits=getattr(description, "limits", None))
+    try:
+        yield from description.records(src, type_name, mask)
+    finally:
+        src.close()
+
+
+def accumulate_stream(description, data, record_type: str, mask=None, *,
+                      tracked: int = DEFAULT_TRACKED,
+                      summaries: bool = False,
+                      window: Optional[int] = None,
+                      follow: bool = False,
+                      poll_interval: float = 0.05,
+                      idle_timeout: Optional[float] = None,
+                      ) -> Tuple[Accumulator, ErrorTally]:
+    """Bounded-memory accumulation: fold every record of a stream into
+    an :class:`~repro.tools.accum.Accumulator` and an
+    :class:`~repro.core.errors.ErrorTally` (``tally.records`` is the
+    record count).  The accumulator is O(tracked values), the parse is
+    O(window): profiling a feed never needs the feed in memory."""
+    acc = Accumulator(description.node(record_type), "<top>", tracked)
+    if summaries:
+        from .tools.summaries import attach_summaries
+        attach_summaries(acc)
+    tally = ErrorTally()
+    for rep, pd in records_stream(description, data, record_type, mask,
+                                  window=window, follow=follow,
+                                  poll_interval=poll_interval,
+                                  idle_timeout=idle_timeout):
+        acc.add(rep, pd)
+        tally.add(pd)
+    return acc, tally
+
+
+def count_records_stream(description, data, *,
+                         window: Optional[int] = None,
+                         follow: bool = False,
+                         poll_interval: float = 0.05,
+                         idle_timeout: Optional[float] = None) -> int:
+    """Bounded-memory record count (record discipline only, no field
+    parsing) — the paper's record-counting floor over a live stream."""
+    src = open_stream(data, description.discipline, window=window,
+                      follow=follow, poll_interval=poll_interval,
+                      idle_timeout=idle_timeout,
+                      limits=getattr(description, "limits", None))
+    count = 0
+    with src:
+        while src.begin_record():
+            src.end_record()
+            count += 1
+    return count

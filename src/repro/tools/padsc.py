@@ -57,28 +57,47 @@ def _load(args):
                         discipline=_discipline(args), limits=_limits(args))
 
 
-def _read_data(args) -> bytes:
-    if args.data == "-":
-        return sys.stdin.buffer.read()
-    with open(args.data, "rb") as handle:
-        return handle.read()
-
-
 def _data_input(args, d):
-    """The streaming input for a subcommand: stdin is slurped, but file
-    inputs go through ``Source.from_file`` so record-at-a-time tools keep
-    only one record resident regardless of file size."""
+    """The input for a subcommand, always streaming: stdin and ``--follow``
+    inputs read through a sliding-window :class:`StreamSource` (no slurp —
+    a pipe of any size parses in O(window) memory), plain files through
+    ``Source.from_file``.  Either way record-at-a-time tools keep only one
+    record's working set resident."""
+    from ..stream import open_stream
+    follow = getattr(args, "follow", None)
+    window = getattr(args, "window", None)
+    idle = None if follow is None or follow < 0 else follow
     if args.data == "-":
-        return sys.stdin.buffer.read()
+        return open_stream(sys.stdin.buffer, d.discipline, window=window,
+                           follow=follow is not None, idle_timeout=idle,
+                           limits=d.limits)
+    if follow is not None:
+        return open_stream(args.data, d.discipline, window=window,
+                           follow=True, idle_timeout=idle, limits=d.limits)
     return d.open_file(args.data)
 
 
 def _parallel_file(args) -> Optional[pathlib.Path]:
     """The input as a path when the subcommand should fan out to workers
-    (``--jobs N`` with a real file; stdin cannot be chunked)."""
-    if getattr(args, "jobs", 1) > 1 and args.data != "-":
+    over seekable chunk planning (``--jobs N`` with a real, non-followed
+    file)."""
+    if getattr(args, "jobs", 1) > 1 and args.data != "-" \
+            and getattr(args, "follow", None) is None:
         return pathlib.Path(args.data)
     return None
+
+
+def _stream_jobs(args) -> Optional[int]:
+    """``--jobs N`` on a stdin stream: the pipelined feeder, or an explicit
+    diagnostic (a non-chunkable discipline raises inside the feeder) —
+    never a silent fallback to one core."""
+    jobs = getattr(args, "jobs", 1)
+    if jobs <= 1:
+        return None
+    if getattr(args, "follow", None) is not None:
+        raise PadsError("--follow tails an unbounded stream and cannot be "
+                        "combined with --jobs; drop one of the two")
+    return jobs if args.data == "-" else None
 
 
 def cmd_check(args) -> int:
@@ -109,11 +128,21 @@ def cmd_accum(args) -> int:
     from .accum import Accumulator, accumulate_records
     d = _load(args)
     path = _parallel_file(args)
+    stream_jobs = _stream_jobs(args)
     if path is not None:
         acc, header_acc, tally = d.accumulate_parallel(
             path, args.record, jobs=args.jobs, tracked=args.track,
             header_type=args.header, summaries=args.summaries)
         count = tally.records
+    elif stream_jobs is not None:
+        if args.header:
+            raise PadsError("--header needs a serial prefix parse and "
+                            "cannot be combined with --jobs on stdin")
+        from ..parallel import parallel_accumulate_stream
+        acc, tally = parallel_accumulate_stream(
+            d, sys.stdin.buffer, args.record, jobs=stream_jobs,
+            tracked=args.track, summaries=args.summaries)
+        header_acc, count = None, tally.records
     elif args.summaries:
         # Attach streaming histograms/quantiles before feeding records.
         from .summaries import attach_summaries
@@ -129,41 +158,59 @@ def cmd_accum(args) -> int:
             d, _data_input(args, d), args.record, header_type=args.header,
             tracked=args.track)
     if header_acc is not None:
-        print(header_acc.full_report(args.top))
-        print()
+        _emit_text(header_acc.full_report(args.top) + "\n")
     if args.field:
         target = acc.field(args.field)
-        print(target.report(args.top))
+        _emit_text(target.report(args.top))
         if args.summaries and getattr(target.self_acc, "summaries", None):
-            print()
-            print(target.self_acc.summaries.report())
+            _emit_text("\n" + target.self_acc.summaries.report())
     else:
-        print(acc.full_report(args.top))
+        _emit_text(acc.full_report(args.top))
     print(f"\n{count} records", file=sys.stderr)
     return 0
 
 
-def _emit_lines(lines) -> None:
+def _emit_lines(lines, flush_each: bool = False) -> None:
     # Bypass stdout's text encoding: byte-string fields must come out as
     # the bytes they were parsed from, not their utf-8 re-encoding.
+    # ``flush_each`` keeps tail mode (--follow) live: each record's line
+    # reaches the pipe as it parses, not when a buffer happens to fill.
     from ..core.io import transparent_encode
     out = sys.stdout.buffer
     sys.stdout.flush()
     for line in lines:
         out.write(transparent_encode(line))
         out.write(b"\n")
+        if flush_each:
+            out.flush()
     out.flush()
+
+
+def _emit_text(text: str) -> None:
+    # Same byte transparency for whole reports (accum, summaries, view):
+    # they quote raw field bytes, which must round-trip unre-encoded.
+    _emit_lines([text])
 
 
 def cmd_fmt(args) -> int:
     from .fmt import format_records
     d = _load(args)
     path = _parallel_file(args)
-    data = path if path is not None else _data_input(args, d)
+    stream_jobs = _stream_jobs(args)
+    pairs = None
+    if stream_jobs is not None:
+        from ..parallel import parallel_records_stream
+        pairs = parallel_records_stream(d, sys.stdin.buffer, args.record,
+                                        jobs=stream_jobs)
+    if path is not None or pairs is not None:
+        data = path
+    else:
+        data = _data_input(args, d)
     _emit_lines(format_records(d, data, args.record, delims=list(args.delims),
                                date_format=args.date_format,
                                skip_errors=args.skip_errors,
-                               jobs=args.jobs))
+                               jobs=args.jobs, pairs=pairs),
+                flush_each=getattr(args, "follow", None) is not None)
     return 0
 
 
@@ -171,8 +218,19 @@ def cmd_xml(args) -> int:
     from .xml_out import xml_records
     d = _load(args)
     path = _parallel_file(args)
-    data = path if path is not None else _data_input(args, d)
-    _emit_lines(xml_records(d, data, args.record, jobs=args.jobs))
+    stream_jobs = _stream_jobs(args)
+    pairs = None
+    if stream_jobs is not None:
+        from ..parallel import parallel_records_stream
+        pairs = parallel_records_stream(d, sys.stdin.buffer, args.record,
+                                        jobs=stream_jobs)
+    if path is not None or pairs is not None:
+        data = path
+    else:
+        data = _data_input(args, d)
+    _emit_lines(xml_records(d, data, args.record, jobs=args.jobs,
+                            pairs=pairs),
+                flush_each=getattr(args, "follow", None) is not None)
     return 0
 
 
@@ -180,8 +238,12 @@ def cmd_count(args) -> int:
     """The paper's record-counting program (the Figure 10 floor task)."""
     d = _load(args)
     path = _parallel_file(args)
+    stream_jobs = _stream_jobs(args)
     if path is not None:
         count = d.count_records_parallel(path, jobs=args.jobs)
+    elif stream_jobs is not None:
+        from ..parallel import parallel_count_stream
+        count = parallel_count_stream(d, sys.stdin.buffer, jobs=stream_jobs)
     else:
         count = d.count_records(_data_input(args, d))
     print(count)
@@ -259,7 +321,7 @@ def cmd_drift(args) -> int:
     with open(args.new_data, "rb") as handle:
         new = handle.read()
     report = profile_and_compare(d, args.record, old, new)
-    print(report.render())
+    _emit_text(report.render())
     return 2 if report.drifted else 0
 
 
@@ -273,7 +335,7 @@ def cmd_view(args) -> int:
             print(f"padsc: no record {args.index}", file=sys.stderr)
             return 1
         src.end_record()
-    print(render_record(d, src, args.record))
+    _emit_text(render_record(d, src, args.record))
     return 0
 
 
@@ -344,9 +406,21 @@ def build_parser() -> argparse.ArgumentParser:
     def jobs_flag(p):
         p.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
                        help="fan the input out to N worker processes, "
-                            "split at record boundaries (file inputs with "
-                            "a chunkable record discipline; otherwise "
-                            "falls back to the serial path)")
+                            "split at record boundaries; stdin is "
+                            "pipelined chunk-by-chunk into the pool, and "
+                            "a stream that cannot be chunked is an error "
+                            "(exit 2), never a silent one-core run")
+
+    def stream_flags(p):
+        p.add_argument("--follow", nargs="?", const=-1.0, type=float,
+                       default=None, metavar="IDLE_SECS",
+                       help="tail mode: keep reading as the input grows "
+                            "(like tail -f); with a value, stop once no "
+                            "new data arrives for IDLE_SECS seconds")
+        p.add_argument("--window", type=int, default=None, metavar="BYTES",
+                       help="sliding-window size for streamed input "
+                            "(stdin/--follow; default 1 MiB) — peak "
+                            "buffered bytes stay within 2x this")
 
     def obs_flags(p):
         p.add_argument("--stats", nargs="?", const="text",
@@ -382,6 +456,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="attach streaming histogram/quantile summaries "
                         "(paper Section 9)")
     jobs_flag(p)
+    stream_flags(p)
     obs_flags(p)
     p.set_defaults(fn=cmd_accum)
 
@@ -392,6 +467,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--date-format", default=None)
     p.add_argument("--skip-errors", action="store_true")
     jobs_flag(p)
+    stream_flags(p)
     obs_flags(p)
     p.set_defaults(fn=cmd_fmt)
 
@@ -399,6 +475,7 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--record", required=True)
     jobs_flag(p)
+    stream_flags(p)
     obs_flags(p)
     p.set_defaults(fn=cmd_xml)
 
@@ -406,6 +483,7 @@ def build_parser() -> argparse.ArgumentParser:
                                      "record-counting floor)")
     common(p)
     jobs_flag(p)
+    stream_flags(p)
     obs_flags(p)
     p.set_defaults(fn=cmd_count)
 

@@ -149,13 +149,18 @@ def _default_tag(node: PType) -> str:
 
 
 def xml_records(description, data, record_type: str, mask=None,
-                root: str = "source", jobs: int = 1):
+                root: str = "source", jobs: int = 1, pairs=None):
     """Convert a whole source to XML, one element per record (the
     generated conversion program of Section 5.3.2).  ``jobs > 1`` parses
-    through the parallel engine, order preserved."""
+    through the parallel engine, order preserved.  An already-parsed
+    ``(rep, pd)`` iterable may be supplied as ``pairs`` (the streaming
+    entry points produce one), in which case ``data``/``jobs`` are
+    ignored."""
     yield f"<{root}>"
     node = description.node(record_type)
-    if jobs and jobs > 1:
+    if pairs is not None:
+        stream = pairs
+    elif jobs and jobs > 1:
         from ..parallel import parallel_records
         stream = parallel_records(description, data, record_type, mask,
                                   jobs=jobs)

@@ -144,14 +144,38 @@ class TestCountAndJobs:
         assert main(argv + ["-j", "2"]) == 0
         assert capsys.readouterr().out == serial
 
-    def test_jobs_on_stdin_falls_back(self, clf_file, clf_data, capsys,
-                                      monkeypatch):
+    def test_jobs_on_stdin_pipelines_into_the_pool(self, clf_file, big_log,
+                                                   capsys, monkeypatch):
+        # --jobs on stdin feeds the pool chunk-by-chunk (no silent
+        # one-core degrade, no slurp); same count as the serial path.
         import io as _io
-        data = open(clf_data, "rb").read()
+        data = open(big_log, "rb").read()
         monkeypatch.setattr("sys.stdin",
                             type("S", (), {"buffer": _io.BytesIO(data)})())
         assert main(["count", clf_file, "-", "-j", "4"]) == 0
-        assert capsys.readouterr().out.strip() == "2"
+        assert capsys.readouterr().out.strip() == "2500"
+
+    def test_jobs_on_unchunkable_stdin_is_an_error(self, tmp_path, capsys,
+                                                   monkeypatch):
+        # The CLI contract: --jobs it cannot honour is exit 2 with one
+        # diagnostic line, never a silent serial run.
+        import io as _io
+        desc = tmp_path / "v.pads"
+        desc.write_text("Precord Pstruct entry_t { Puint32 n; };")
+        monkeypatch.setattr("sys.stdin",
+                            type("S", (), {"buffer": _io.BytesIO(b"")})())
+        assert main(["count", str(desc), "-", "-j", "4",
+                     "--records", "lenprefix:4"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot split" in err
+        assert err.strip().count("\n") == 0
+
+    def test_follow_with_jobs_is_an_error(self, clf_file, clf_data, capsys):
+        assert main(["count", clf_file, clf_data, "-j", "2",
+                     "--follow", "0.1"]) == 2
+        err = capsys.readouterr().err
+        assert "--follow" in err
+        assert err.strip().count("\n") == 0
 
     def test_xml_parallel_matches_serial(self, clf_file, big_log, capsys):
         argv = ["xml", clf_file, big_log, "--record", "entry_t"]
@@ -177,6 +201,36 @@ class TestCountAndJobs:
         out = capsysbinary.readouterr().out
         assert b"<name>caf\xe9</name>" in out
         assert b"caf\xc3\xa9" not in out
+
+    def test_accum_report_is_byte_transparent(self, tmp_path, capsysbinary):
+        """Accumulator reports quote raw field bytes; high bytes must not
+        mojibake into their utf-8 re-encoding (the fmt/xml treatment)."""
+        desc = tmp_path / "l1.pads"
+        desc.write_text("Precord Pstruct entry_t {"
+                        " Pstring(:'|':) name; '|'; Puint32 n; };")
+        data = tmp_path / "l1.dat"
+        data.write_bytes(b"caf\xe9|7\nna\xefve|9\n")
+        assert main(["accum", str(desc), str(data),
+                     "--record", "entry_t"]) == 0
+        out = capsysbinary.readouterr().out
+        assert b"caf\xe9" in out
+        assert b"caf\xc3\xa9" not in out
+
+    def test_stdin_count_streams_without_slurp(self, clf_file, big_log,
+                                               capsys, monkeypatch):
+        """Stdin reads through a sliding window: a tiny window still
+        counts every record of an input many times its size."""
+        import io as _io
+        data = open(big_log, "rb").read()
+        monkeypatch.setattr("sys.stdin",
+                            type("S", (), {"buffer": _io.BytesIO(data)})())
+        assert main(["count", clf_file, "-", "--window", "4096"]) == 0
+        assert capsys.readouterr().out.strip() == "2500"
+
+    def test_follow_idle_timeout_drains_growing_file(self, clf_file,
+                                                     big_log, capsys):
+        assert main(["count", clf_file, big_log, "--follow", "0.2"]) == 0
+        assert capsys.readouterr().out.strip() == "2500"
 
 
 class TestObservabilityFlags:

@@ -207,9 +207,15 @@ class TestResourceLimits:
         assert parallel._plan_windows(interp, data, JOBS) is None
 
 
+@pytest.mark.timing
 class TestSelfHealingParallel:
     """Injected worker faults recover to byte-identical results, with
-    recovery actions visible in the metrics registry."""
+    recovery actions visible in the metrics registry.
+
+    Marked ``timing``: these tests stall and kill real worker processes
+    against wall-clock caps, so CI runs them serially, isolated from
+    suite-load jitter.
+    """
 
     @pytest.fixture()
     def big_clf(self):
@@ -226,6 +232,7 @@ class TestSelfHealingParallel:
         parallel.shutdown()
         yield
         parallel._WORKER_FAULT = None
+        parallel._WEDGE_TIMEOUT = None
         parallel.shutdown()
 
     def _run_with_fault(self, interp, data, fault):
@@ -265,22 +272,34 @@ class TestSelfHealingParallel:
         assert recovery["pool_rebuild"] == 0
         assert recovery["degraded"] == 0
 
-    def test_wedged_worker_times_out_and_recovers(self, big_clf):
+    def test_wedged_worker_times_out_and_recovers(self, big_clf, tmp_path):
+        # Wedge detection gets its own clock (parallel._WEDGE_TIMEOUT)
+        # rather than a ParseLimits deadline: a deadline tight enough to
+        # detect the wedge quickly is also a real per-chunk data budget
+        # that healthy workers can trip under full-suite load, silently
+        # truncating their chunks (the flake this test used to have).
         interp, data, serial = big_clf
-        interp.limits = ParseLimits(deadline=0.25)
         parent = os.getpid()
+        release = tmp_path / "release"
 
         def stall_first_window(task):
             window = task[1]
             if os.getpid() != parent and window[2] == 0:
-                time.sleep(4.0)  # far past the 4x-deadline chunk cap
+                # Wedge, don't crash: hold the chunk hostage until the
+                # parent finishes recovering, so the stall outlives the
+                # wedge timeout however loaded the machine is.
+                give_up = time.monotonic() + 60.0
+                while not release.exists() and time.monotonic() < give_up:
+                    time.sleep(0.05)
 
+        parallel._WEDGE_TIMEOUT = 5.0
         try:
             out, recovery = self._run_with_fault(interp, data,
                                                  stall_first_window)
         finally:
-            interp.limits = None
-        assert [r for r, _ in out] == [r for r, _ in serial]
+            parallel._WEDGE_TIMEOUT = None
+            release.touch()  # let the abandoned worker exit
+        assert out == serial
         assert recovery["chunk_timeout"] == 1
         assert recovery["chunk_retry"] >= 1
 

@@ -1,0 +1,239 @@
+"""Differential sweep for the bounded-memory streaming subsystem.
+
+``records_stream`` must be observationally identical to the slurped
+``records`` path — same reps, same parse-descriptor summaries — across
+the gallery, both engines, serial and parallel, every window size
+(including windows smaller than one record, which force a record to
+span refill boundaries), and a truncated final record.  On top of the
+equivalence, the memory bound itself is asserted: streaming an input
+many times the window keeps peak buffered bytes within 2x the window
+(via the ``stream.high_water`` metric).
+"""
+
+import io
+import os
+import random
+import threading
+import time
+
+import pytest
+
+try:
+    from hypothesis import given, settings, strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - baked-in image has hypothesis
+    HAVE_HYPOTHESIS = False
+
+from repro import gallery, observe
+from repro.core.errors import PadsError
+from repro.core.io import NewlineRecords, StreamSource
+from repro.parallel import (
+    parallel_accumulate_stream,
+    parallel_count_stream,
+    parallel_records_stream,
+)
+from repro.stream import open_stream, records_stream
+from repro.tools.accum import Accumulator
+from repro.tools.datagen import clf_workload
+
+from .test_codegen import pd_summary
+from .test_differential import CASES
+
+WINDOWS = [64, 256, 4096, 1 << 20]
+
+
+@pytest.fixture(scope="module")
+def cases():
+    return {name: build() for name, build in CASES.items()}
+
+
+def slurped(engine, data, rtype):
+    return [(r, pd_summary(p)) for r, p in engine.records(data, rtype)]
+
+
+def streamed(engine, data, rtype, **opts):
+    return [(r, pd_summary(p))
+            for r, p in engine.records_stream(io.BytesIO(data), rtype,
+                                              **opts)]
+
+
+@pytest.mark.parametrize("name", list(CASES))
+class TestStreamMatchesSlurp:
+    def test_every_window_both_engines(self, cases, name):
+        interp, gen, data, rtype = cases[name]
+        base = slurped(interp, data, rtype)
+        assert base, "empty case would vacuously pass"
+        for engine in (interp, gen):
+            for window in WINDOWS:
+                assert streamed(engine, data, rtype, window=window) == base, \
+                    f"window={window}"
+
+    def test_truncated_final_record(self, cases, name):
+        interp, _gen, data, rtype = cases[name]
+        cut = data[:len(data) - len(data) % 64 - 31]  # mid-record, mid-window
+        base = slurped(interp, cut, rtype)
+        for window in (64, 4096):
+            assert streamed(interp, cut, rtype, window=window) == base
+
+    def test_stats_match_slurped(self, cases, name):
+        # Deterministic stats projection: identical whether the bytes
+        # arrived all at once or through a sliding window.
+        interp, _gen, data, rtype = cases[name]
+        with observe.observed() as obs:
+            list(interp.records(data, rtype))
+        base = obs.stats(deterministic=True)
+        with observe.observed() as obs:
+            list(interp.records_stream(io.BytesIO(data), rtype, window=256))
+        doc = obs.stats(deterministic=True)
+        assert doc["records"] == base["records"]
+        assert doc["errors"] == base["errors"]
+        assert doc["stream"]["refills"] > 0
+        assert doc["stream"]["high_water"] > 0
+
+
+if HAVE_HYPOTHESIS:
+    _HYPO_CASE = {}
+
+    def _hypo_case():
+        # Build lazily (and once): hypothesis re-invokes the test body.
+        if not _HYPO_CASE:
+            interp = gallery.load_clf()
+            data = clf_workload(40, random.Random(5))
+            _HYPO_CASE["case"] = (interp, data,
+                                  slurped(interp, data, "entry_t"))
+        return _HYPO_CASE["case"]
+
+    class TestRandomWindows:
+        @settings(max_examples=40, deadline=None)
+        @given(window=st.integers(min_value=1, max_value=4097))
+        def test_any_window_agrees(self, window):
+            # Every window size puts the refill boundary somewhere new
+            # inside some record; none of them may change the parse.
+            interp, data, base = _hypo_case()
+            assert streamed(interp, data, "entry_t", window=window) == base
+
+
+class TestBoundedMemory:
+    def test_high_water_stays_within_twice_the_window(self):
+        window = 1 << 14
+        data = clf_workload(2500, random.Random(6))  # ~20x the window
+        assert len(data) >= 10 * window
+        interp = gallery.load_clf()
+        with observe.observed() as obs:
+            out = list(interp.records_stream(io.BytesIO(data), "entry_t",
+                                             window=window))
+        stream = obs.stats(deterministic=True)["stream"]
+        assert stream["high_water"] <= 2 * window, stream
+        assert stream["refills"] >= len(data) // window
+        # ...and the bounded run still parsed everything, identically.
+        assert [r for r, _ in out] == \
+            [r for r, _ in interp.records(data, "entry_t")]
+
+    def test_source_counters_mirror_metrics(self):
+        data = b"a,1\nb,2\nc,3\n" * 50
+        src = StreamSource(io.BytesIO(data), NewlineRecords(), window=16)
+        with src:
+            n = 0
+            while src.begin_record():
+                src.end_record()
+                n += 1
+        assert n == 150
+        assert src.refills > 0
+        assert 0 < src.high_water <= 2 * 16
+
+
+class TestParallelStream:
+    @pytest.fixture(autouse=True)
+    def _clean_pools(self):
+        from repro import parallel
+        parallel.shutdown()
+        yield
+        parallel.shutdown()
+
+    def test_records_match_serial(self, cases):
+        interp, gen, data, rtype = cases["clf"]
+        base = slurped(interp, data, rtype)
+        for engine in (interp, gen):
+            got = [(r, pd_summary(p)) for r, p in parallel_records_stream(
+                engine, io.BytesIO(data), rtype, jobs=3, chunk_bytes=2048)]
+            assert got == base
+
+    def test_count_and_accumulate_match(self, cases):
+        interp, _gen, data, rtype = cases["clf"]
+        expected = interp.count_records(data)
+        assert parallel_count_stream(interp, io.BytesIO(data), jobs=3,
+                                     chunk_bytes=2048) == expected
+        acc = Accumulator(interp.node(rtype), "<top>", 1000)
+        for rep, pd in interp.records(data, rtype):
+            acc.add(rep, pd)
+        par_acc, tally = parallel_accumulate_stream(
+            interp, io.BytesIO(data), rtype, jobs=3, chunk_bytes=2048)
+        assert tally.records == expected
+        assert par_acc.full_report() == acc.full_report()
+
+    def test_unchunkable_stream_is_an_explicit_error(self, cases):
+        interp, _gen, data, rtype = cases["call_detail"]
+        sirius_like = gallery.load_sirius()
+        from repro.core.io import LengthPrefixedRecords
+        sirius_like.discipline = LengthPrefixedRecords(4)
+        with pytest.raises(PadsError, match="cannot split"):
+            list(parallel_records_stream(sirius_like, io.BytesIO(b""),
+                                         "entry_t", jobs=3))
+
+
+class TestLiveSources:
+    def test_pipe(self):
+        interp = gallery.load_clf()
+        data = clf_workload(50, random.Random(7))
+        base = slurped(interp, data, "entry_t")
+        r_fd, w_fd = os.pipe()
+
+        def feed():
+            with os.fdopen(w_fd, "wb") as w:
+                for i in range(0, len(data), 777):
+                    w.write(data[i:i + 777])
+                    w.flush()
+
+        t = threading.Thread(target=feed)
+        t.start()
+        try:
+            got = [(r, pd_summary(p)) for r, p in
+                   records_stream(interp, r_fd, "entry_t", window=4096)]
+        finally:
+            t.join()
+        assert got == base
+
+    def test_follow_growing_file(self, tmp_path):
+        interp = gallery.load_clf()
+        data = clf_workload(60, random.Random(8))
+        lines = data.splitlines(keepends=True)
+        path = tmp_path / "grow.log"
+        with open(path, "wb") as w:
+            w.writelines(lines[:20])
+
+        def grow():
+            time.sleep(0.15)
+            with open(path, "ab") as w:
+                w.writelines(lines[20:])
+
+        t = threading.Thread(target=grow)
+        t.start()
+        try:
+            with observe.observed() as obs:
+                got = [(r, pd_summary(p)) for r, p in
+                       records_stream(interp, str(path), "entry_t",
+                                      follow=True, idle_timeout=1.0,
+                                      poll_interval=0.02)]
+        finally:
+            t.join()
+        assert got == slurped(interp, data, "entry_t")
+        # the reader must actually have waited on the growing file
+        assert obs.stats(deterministic=True)["stream"]["stalls"] > 0
+
+    def test_open_stream_rejects_unreadable(self):
+        with pytest.raises(PadsError, match="cannot stream"):
+            open_stream(3.14, NewlineRecords())
+
+    def test_open_stream_passthrough(self):
+        src = StreamSource(io.BytesIO(b"x\n"), NewlineRecords())
+        assert open_stream(src, NewlineRecords()) is src
