@@ -14,10 +14,17 @@ the plan-driven generated engine, so the two medians must agree within
 a generous tolerance (guarding against the smoke comparing different
 workloads after a refactor).
 
+Also gates BENCH_batch.json when given: the batch engine's acceptance
+bar is a **5x** records/sec speedup over the cursor engine on the
+fixed-width call-detail entry, enforced with the same 5% tolerance the
+plan pairs get (so the required within-run ratio is ``5.0 / 1.05``).
+A later PR that slows the grid driver by more than 5% of that bar
+fails here, not in review.
+
 Usage::
 
     python benchmarks/check_plan_regression.py BENCH_plan.json \
-        [BENCH_parallel.json]
+        [BENCH_parallel.json] [BENCH_batch.json]
 
 Exits 0 when every gate holds, 1 otherwise.  Stdlib only.
 """
@@ -35,6 +42,7 @@ PAIRS = [
 
 TOLERANCE = 1.05          # >5% regression fails
 CROSS_TOLERANCE = 2.0     # sanity band for the BENCH_parallel cross-check
+BATCH_SPEEDUP = 5.0       # the batch engine's acceptance bar (ISSUE PR 6)
 
 
 def medians(path):
@@ -82,6 +90,28 @@ def main(argv):
                     f"BENCH_parallel's serial vetting (limit "
                     f"{CROSS_TOLERANCE}x) — are the workloads still the "
                     "same?")
+
+    if len(argv) > 2:
+        with open(argv[2]) as handle:
+            batch = json.load(handle)
+        floor = BATCH_SPEEDUP / TOLERANCE
+        speedups = {name: e["speedup"]
+                    for name, e in batch.get("engines", {}).items()}
+        if not speedups:
+            failures.append(f"no engine results in {argv[2]}")
+        for name, speedup in sorted(speedups.items()):
+            verdict = "OK" if speedup >= floor else "SLOW"
+            print(f"batch speedup ({name}): {speedup:.2f}x over the cursor "
+                  f"engine (bar {BATCH_SPEEDUP}x, floor {floor:.2f}x) "
+                  f"({verdict})")
+        # The acceptance bar is "at least one fixed-width gallery entry
+        # at 5x"; both engines clearing it is the expectation, one
+        # engine clearing it is the requirement.
+        if speedups and max(speedups.values()) < floor:
+            failures.append(
+                f"batch engine speedup {max(speedups.values()):.2f}x is "
+                f"below the {BATCH_SPEEDUP}x bar (floor {floor:.2f}x with "
+                f"the {TOLERANCE}x tolerance)")
 
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

@@ -211,6 +211,44 @@ class GeneratedDescription:
             count += 1
         return count
 
+    # -- batch entry points --------------------------------------------------------
+    #
+    # Vectorized twins (:mod:`repro.batch`): the generated module carries
+    # the columnar kernels in its ``BATCH`` table — the codegen twin of
+    # the interpreter's materialised plan fragments.
+
+    @property
+    def plan(self):
+        """The analyzed plan IR (via the cached interpreted twin)."""
+        return self.module._interp().plan
+
+    def batch_kernel(self, type_name: str):
+        """``(static width, batch kernel)`` for a batch-eligible record
+        type, or None."""
+        return getattr(self.module, "BATCH", {}).get(type_name)
+
+    def records_batch(self, data, type_name: str,
+                      mask: Optional[Mask] = None, *,
+                      strict: bool = False):
+        """Vectorized record stream (``records`` twin)."""
+        from ..batch import records_batch
+        return records_batch(self, data, type_name, mask, strict=strict)
+
+    def accumulate_batch(self, data, record_type: str,
+                         mask: Optional[Mask] = None, *,
+                         tracked: int = 1000, summaries: bool = False,
+                         strict: bool = False):
+        """Vectorized accumulation: returns ``(acc, tally)``."""
+        from ..batch import accumulate_batch
+        return accumulate_batch(self, data, record_type, mask,
+                                tracked=tracked, summaries=summaries,
+                                strict=strict)
+
+    def count_records_batch(self, data, *, strict: bool = False) -> int:
+        """Vectorized record counting (``count_records`` twin)."""
+        from ..batch import count_records_batch
+        return count_records_batch(self, data, strict=strict)
+
     # -- streaming entry points ---------------------------------------------------
     #
     # Bounded-memory twins (:mod:`repro.stream`): read pipes, sockets and

@@ -25,7 +25,7 @@ property tests pinning the two against each other.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..dsl import ast as D
 from ..expr import ast as E
@@ -101,6 +101,8 @@ class Emitter:
         self._consts: List[str] = []  # module-level constant definitions
         self._tmp = 0
         self._fastpaths: Dict[str, str] = {}  # type name -> fast fn name
+        #: type name -> (static width, batch kernel name); the BATCH table.
+        self._batchpaths: Dict[str, Tuple[int, str]] = {}
 
     # -- small helpers ------------------------------------------------------
 
@@ -282,6 +284,12 @@ class Emitter:
                 fn_name, lines = dp.fast_fn
                 self._fastpaths[dp.name] = fn_name
                 body.lines.extend(lines)
+                body.w()
+            if self.fastpath and dp.batch_verdict.eligible \
+                    and dp.batch_fn is not None:
+                bt_name, bt_lines = dp.batch_fn
+                self._batchpaths[dp.name] = (dp.width, bt_name)
+                body.lines.extend(bt_lines)
                 body.w()
             if isinstance(dp, StructPlan):
                 self.emit_struct(body, dp)
@@ -1254,6 +1262,13 @@ class Emitter:
                 params = entry.param_names
                 w.w(f"{n!r}: _GenType({n}_parse, {n}_write, {n}_verify, "
                     f"{n}_default, {params!r}, {entry.is_record!r}),")
+        w.w("}")
+        w.w()
+        w.w("# Batch-eligible record types: name -> (static width, kernel).")
+        w.w("BATCH = {")
+        with _Indent(w):
+            for name, (width, bt_name) in self._batchpaths.items():
+                w.w(f"{name!r}: ({width}, {bt_name}),")
         w.w("}")
         src_name = self.plan.source_name
         w.w(f"SOURCE_TYPE = {src_name!r}" if src_name is not None

@@ -193,6 +193,48 @@ class CompiledDescription:
         from ..stream import count_records_stream
         return count_records_stream(self, data, **opts)
 
+    # -- batch entry points --------------------------------------------------------
+    #
+    # Vectorized twins (:mod:`repro.batch`): when the plan proves the
+    # record layout fully static and the record discipline gives records
+    # a constant pitch, thousands of records parse per call through a
+    # columnar kernel.  All of them fall back to the cursor path (same
+    # results, cursor speed) when the description is ineligible.
+
+    def batch_kernel(self, type_name: str):
+        """``(static width, batch kernel)`` for a batch-eligible record
+        type, or None.  The kernels are materialised from the same plan
+        fragments a generated module carries in its ``BATCH`` table."""
+        dp = self.plan.decls.get(type_name)
+        if dp is None or not dp.batch_verdict.eligible:
+            return None
+        fn = self.bound.batch_fns.get(type_name)
+        if fn is None:
+            return None
+        return dp.width, fn
+
+    def records_batch(self, data, type_name: str,
+                      mask: Optional[Mask] = None, *,
+                      strict: bool = False):
+        """Vectorized record stream (``records`` twin)."""
+        from ..batch import records_batch
+        return records_batch(self, data, type_name, mask, strict=strict)
+
+    def accumulate_batch(self, data, record_type: str,
+                         mask: Optional[Mask] = None, *,
+                         tracked: int = 1000, summaries: bool = False,
+                         strict: bool = False):
+        """Vectorized accumulation: returns ``(acc, tally)``."""
+        from ..batch import accumulate_batch
+        return accumulate_batch(self, data, record_type, mask,
+                                tracked=tracked, summaries=summaries,
+                                strict=strict)
+
+    def count_records_batch(self, data, *, strict: bool = False) -> int:
+        """Vectorized record counting (``count_records`` twin)."""
+        from ..batch import count_records_batch
+        return count_records_batch(self, data, strict=strict)
+
     # -- parallel entry points ---------------------------------------------------
     #
     # Chunked map-reduce twins of the serial entry points above

@@ -98,9 +98,11 @@ class BoundDescription:
 
     def _bind(self) -> None:
         fast_fns = {}
+        self.batch_fns: Dict[str, object] = {}
         if self.fastpath:
-            from ..plan.runtime import materialize_fast_fns
+            from ..plan.runtime import materialize_batch_fns, materialize_fast_fns
             fast_fns = materialize_fast_fns(self.plan)
+            self.batch_fns = materialize_batch_fns(self.plan)
         for kind, entry in self.plan.order:
             if kind == "func":
                 self.global_env.funcs[entry.name] = entry.func

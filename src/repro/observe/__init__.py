@@ -190,6 +190,16 @@ class ParseObserver:
                 "bytes_buffered": self.metrics.value("stream.bytes_buffered"),
                 "high_water": self.metrics.value("stream.high_water"),
             },
+            # Vectorized batch engine (repro.batch).  ``records`` counts
+            # records the columnar kernels parsed clean;
+            # ``fallback_records`` the ones re-parsed by the cursor
+            # engine (failed constraints, torn grids).
+            "batch": {
+                "records": self.metrics.value("batch.records"),
+                "batches": self.metrics.value("batch.batches"),
+                "fallback_records": self.metrics.value("batch.fallback_records"),
+                "bytes": self.metrics.value("batch.bytes"),
+            },
         }
         if not deterministic:
             wall = self.elapsed()
@@ -232,6 +242,11 @@ class ParseObserver:
             lines.append(f"stream:  refills: {s['stream']['refills']} "
                          f"stalls: {s['stream']['stalls']} "
                          f"high-water: {s['stream']['high_water']}")
+        if s["batch"]["batches"] or s["batch"]["fallback_records"]:
+            lines.append(f"batch:   records: {s['batch']['records']} "
+                         f"batches: {s['batch']['batches']} "
+                         f"fallbacks: {s['batch']['fallback_records']} "
+                         f"bytes: {s['batch']['bytes']}")
         for type_name, hist in sorted(s["latency"].items()):
             count_ = hist["count"] if isinstance(hist, dict) else hist
             mean = (hist["sum"] / count_ * 1e6) if isinstance(hist, dict) and count_ else 0.0

@@ -310,17 +310,38 @@ def _serial_input(description, data):
 # -- map functions (run inside workers) ----------------------------------------
 
 
+def _window_iter(desc, window, type_name, mask, limits) -> tuple:
+    """One worker window's record stream: the batch engine when the
+    window is grid-eligible (:func:`repro.batch.window_records`), the
+    ordinary cursor walk otherwise.  Both produce chunk-local record
+    indices.  Returns ``(iterator, source-to-close-or-None)``."""
+    from .batch import window_records
+    batched = window_records(desc, window, type_name, mask)
+    if batched is not None:
+        return batched, None
+    src = _open_window(window, desc.discipline, limits)
+    return desc.records(src, type_name, mask), src
+
+
+def _window_records(desc, window, type_name, mask, limits) -> list:
+    it, src = _window_iter(desc, window, type_name, mask, limits)
+    try:
+        return list(it)
+    finally:
+        if src is not None:
+            src.close()
+
+
 def _map_records(task) -> tuple:
     spec, window, type_name, mask, meter = task
     if _WORKER_FAULT is not None:
         _WORKER_FAULT(task)
     desc = _materialise(spec)
-    src = _open_window(window, desc.discipline, spec.limits)
     if not meter:
-        with src:
-            return list(desc.records(src, type_name, mask)), None
-    with observe.observed() as obs, src:
-        out = list(desc.records(src, type_name, mask))
+        return _window_records(desc, window, type_name, mask,
+                               spec.limits), None
+    with observe.observed() as obs:
+        out = _window_records(desc, window, type_name, mask, spec.limits)
     return out, obs.metrics
 
 
@@ -329,6 +350,10 @@ def _map_count(task) -> int:
     if _WORKER_FAULT is not None:
         _WORKER_FAULT(task)
     desc = _materialise(spec)
+    from .batch import window_count
+    batched = window_count(desc, window)
+    if batched is not None:
+        return batched
     src = _open_window(window, desc.discipline, spec.limits)
     with src:
         count = 0
@@ -343,13 +368,16 @@ def _map_tally(task) -> tuple:
     if _WORKER_FAULT is not None:
         _WORKER_FAULT(task)
     desc = _materialise(spec)
-    src = _open_window(window, desc.discipline, spec.limits)
 
     def run():
         tally = ErrorTally()
-        with src:
-            for _rep, pd in desc.records(src, type_name, mask):
+        it, src = _window_iter(desc, window, type_name, mask, spec.limits)
+        try:
+            for _rep, pd in it:
                 tally.add(pd)
+        finally:
+            if src is not None:
+                src.close()
         return tally
 
     if not meter:
@@ -371,11 +399,14 @@ def _map_accum(task) -> tuple:
 
     def run():
         tally = ErrorTally()
-        src = _open_window(window, desc.discipline, spec.limits)
-        with src:
-            for rep, pd in desc.records(src, record_type, mask):
+        it, src = _window_iter(desc, window, record_type, mask, spec.limits)
+        try:
+            for rep, pd in it:
                 acc.add(rep, pd)
                 tally.add(pd)
+        finally:
+            if src is not None:
+                src.close()
         return tally
 
     if not meter:

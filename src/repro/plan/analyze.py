@@ -67,11 +67,17 @@ def analyze(desc: D.Description, ambient: str = "ascii") -> Plan:
     if src is not None:
         plan.source_name = src.name
 
-    # Passes 2..4: analysis and optimization over the IR.
-    from .passes import attach_fastpaths, compute_widths, fuse_literal_runs
+    # Passes 2..5: analysis and optimization over the IR.
+    from .passes import (
+        attach_batchpaths,
+        attach_fastpaths,
+        compute_widths,
+        fuse_literal_runs,
+    )
     compute_widths(plan)
     fuse_literal_runs(plan)
     attach_fastpaths(plan)
+    attach_batchpaths(plan)
     return plan
 
 

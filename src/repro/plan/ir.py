@@ -193,6 +193,11 @@ class DeclPlan:
     verdict: Verdict = field(
         default_factory=lambda: Verdict(False, "not analyzed"))
     fast_fn: Optional[Tuple[str, List[str]]] = None
+    #: Batch-engine eligibility (columnar kernel over whole record grids);
+    #: stricter than ``verdict`` — requires a fully static record width.
+    batch_verdict: Verdict = field(
+        default_factory=lambda: Verdict(False, "not analyzed"))
+    batch_fn: Optional[Tuple[str, List[str]]] = None
 
     @property
     def param_names(self) -> List[str]:

@@ -197,3 +197,45 @@ def attach_fastpaths(plan: Plan) -> None:
         else:
             dp.verdict = Verdict(True, reason)
             dp.fast_fn = (fn_name, lines)
+
+
+# -- batch-engine verdicts ----------------------------------------------------
+
+
+def attach_batchpaths(plan: Plan) -> None:
+    """Record the batch-engine verdict for every declaration and compile
+    the columnar kernel for eligible records.
+
+    Stricter than the record fast path: the whole record layout must be
+    provably static (fixed columns at fixed offsets), because the batch
+    engine strides a ``memoryview`` across thousands of records at a
+    constant pitch.  The geometry fit against the record discipline
+    (pitch = width, or width + terminator) is decided at run time by
+    :mod:`repro.batch` — this verdict is the data-layout half.
+    """
+    from .fastpath import NotEligible, compile_batch
+    for dp in plan.decls.values():
+        if dp.params:
+            dp.batch_verdict = Verdict(False, "parameterised type")
+            continue
+        if not dp.is_record:
+            dp.batch_verdict = Verdict(False, "not a Precord type")
+            continue
+        if not isinstance(dp, StructPlan):
+            dp.batch_verdict = Verdict(
+                False, f"Precord {dp.kind} (the batch engine covers Pstruct "
+                "records)")
+            continue
+        if dp.width is None:
+            dp.batch_verdict = Verdict(False, "record width is not static")
+            continue
+        if dp.width <= 0:
+            dp.batch_verdict = Verdict(False, "record has zero static width")
+            continue
+        try:
+            fn_name, lines, reason = compile_batch(plan, dp)
+        except NotEligible as exc:
+            dp.batch_verdict = Verdict(False, str(exc) or "not eligible")
+        else:
+            dp.batch_verdict = Verdict(True, reason)
+            dp.batch_fn = (fn_name, lines)

@@ -83,7 +83,8 @@ def _decl_lines(dp) -> List[str]:
         head += "  [" + " ".join(flags) + "]"
     lines = [head,
              f"  width: {_width(dp.width)}",
-             f"  fastpath: {dp.verdict}"]
+             f"  fastpath: {dp.verdict}",
+             f"  batch: {dp.batch_verdict}"]
 
     if isinstance(dp, StructPlan):
         for i, item in enumerate(dp.items):

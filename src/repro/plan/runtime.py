@@ -68,3 +68,20 @@ def materialize_fast_fns(plan: Plan) -> Dict[str, Callable]:
         exec("\n".join(lines), ns)
         fns[dp.name] = ns[name]
     return fns
+
+
+def materialize_batch_fns(plan: Plan) -> Dict[str, Callable]:
+    """``{type name: batch kernel}`` for every batch-eligible record
+    plan — the interpreter twin of the ``_bt_*`` functions a generated
+    module carries in its ``BATCH`` table."""
+    fns: Dict[str, Callable] = {}
+    ns: Dict[str, Any] = {}
+    for dp in plan.decls.values():
+        if dp.batch_fn is None or not dp.batch_verdict.eligible:
+            continue
+        if not ns:
+            ns = runtime_namespace(plan)
+        name, lines = dp.batch_fn
+        exec("\n".join(lines), ns)
+        fns[dp.name] = ns[name]
+    return fns

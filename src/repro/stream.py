@@ -33,6 +33,7 @@ Memory model, window sizing and the follow discipline are documented in
 from __future__ import annotations
 
 import os
+import pathlib as _pathlib
 from typing import Iterator, Optional, Tuple
 
 from .core.errors import ErrorTally, PadsError, Pd
@@ -99,7 +100,28 @@ def records_stream(description, data, type_name: str, mask=None, *,
     any size — or an endless one under ``follow=True`` — parses in
     O(window) memory.  The source is closed when the iterator is
     exhausted or dropped.
+
+    Batch-eligible descriptions (:mod:`repro.batch`) hand the feed to
+    the grid driver instead, record-aligned chunk by chunk — still
+    bounded memory, but without the sliding-window bookkeeping (so the
+    ``stream.*`` metrics stay at zero on that path).  ``follow=True``
+    and already-open :class:`StreamSource` inputs always take the
+    cursor path.
     """
+    if (not follow and not isinstance(data, StreamSource)
+            and not isinstance(data, (bytes, bytearray))):
+        from .batch import (
+            BATCH_BYTES, _runtime_gate, batch_verdict, records_batch)
+        if (batch_verdict(description, type_name).eligible
+                and _runtime_gate(description, mask) is None):
+            # A str names a *path* here (open_stream semantics), while
+            # the batch feeder would read it as literal data.
+            feed = _pathlib.Path(data) if isinstance(data, str) else data
+            chunk = (max(1, min(window, BATCH_BYTES)) if window
+                     else BATCH_BYTES)
+            yield from records_batch(description, feed, type_name, mask,
+                                     chunk_bytes=chunk)
+            return
     src = open_stream(data, description.discipline, window=window,
                       follow=follow, poll_interval=poll_interval,
                       idle_timeout=idle_timeout,
@@ -143,7 +165,19 @@ def count_records_stream(description, data, *,
                          poll_interval: float = 0.05,
                          idle_timeout: Optional[float] = None) -> int:
     """Bounded-memory record count (record discipline only, no field
-    parsing) — the paper's record-counting floor over a live stream."""
+    parsing) — the paper's record-counting floor over a live stream.
+    Constant-pitch disciplines count by arithmetic over record-aligned
+    chunks (:func:`repro.batch.count_records_batch`) when the feed is
+    finite."""
+    if (not follow and not isinstance(data, StreamSource)
+            and not isinstance(data, (bytes, bytearray))
+            and getattr(description, "limits", None) is None):
+        from .batch import count_records_batch
+        from .core.io import FixedWidthRecords, NewlineRecords
+        if isinstance(description.discipline,
+                      (FixedWidthRecords, NewlineRecords)):
+            feed = _pathlib.Path(data) if isinstance(data, str) else data
+            return count_records_batch(description, feed)
     src = open_stream(data, description.discipline, window=window,
                       follow=follow, poll_interval=poll_interval,
                       idle_timeout=idle_timeout,

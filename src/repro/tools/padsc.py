@@ -87,6 +87,59 @@ def _parallel_file(args) -> Optional[pathlib.Path]:
     return None
 
 
+def _batch_input(args):
+    """The input for the batch engine's feeder: stdin's buffer, or the
+    file as a *path* (a plain str would be read as literal data)."""
+    if args.data == "-":
+        return sys.stdin.buffer
+    return pathlib.Path(args.data)
+
+
+def _pick_engine(args, d, record_type: Optional[str]) -> str:
+    """Resolve ``--engine`` to the engine that will actually run.
+
+    ``auto`` selects the batch engine exactly when the description,
+    record discipline, and run shape are inside the batch subset;
+    ``batch`` enforces it (ineligible -> PadsError -> exit 2);
+    ``cursor`` pins the ordinary serial loop.  The resolved choice is
+    recorded on ``args`` so ``--stats`` can report it.
+    """
+    choice = getattr(args, "engine", "auto")
+    if choice == "cursor":
+        if getattr(args, "jobs", 1) > 1:
+            raise PadsError("--engine cursor pins the serial cursor loop "
+                            "and cannot be combined with --jobs")
+        args._engine_used = "cursor"
+        return "cursor"
+    from ..batch import _runtime_gate, batch_verdict
+    from ..core.io import FixedWidthRecords, NewlineRecords
+    if record_type is None:
+        # Record counting: geometry-only eligibility (no field parsing).
+        if not isinstance(d.discipline, (FixedWidthRecords, NewlineRecords)):
+            eligible, reason = False, (
+                f"{type(d.discipline).__name__} records have no constant "
+                "pitch")
+        elif getattr(d, "limits", None) is not None:
+            eligible, reason = False, (
+                "parse limits attached (budgets are accounted per-cursor)")
+        else:
+            eligible, reason = True, ""
+    else:
+        v = batch_verdict(d, record_type)
+        eligible, reason = v.eligible, v.reason
+        if eligible:
+            gate = _runtime_gate(d, None)
+            if gate is not None:
+                eligible, reason = False, gate
+    if getattr(args, "follow", None) is not None and eligible:
+        eligible, reason = False, ("--follow tails an unbounded stream "
+                                   "(cursor only)")
+    if choice == "batch" and not eligible:
+        raise PadsError(f"--engine batch: {reason}")
+    args._engine_used = "batch" if eligible else "cursor"
+    return args._engine_used
+
+
 def _stream_jobs(args) -> Optional[int]:
     """``--jobs N`` on a stdin stream: the pipelined feeder, or an explicit
     diagnostic (a non-chunkable discipline raises inside the feeder) —
@@ -127,6 +180,7 @@ def cmd_compile(args) -> int:
 def cmd_accum(args) -> int:
     from .accum import Accumulator, accumulate_records
     d = _load(args)
+    engine = _pick_engine(args, d, args.record)
     path = _parallel_file(args)
     stream_jobs = _stream_jobs(args)
     if path is not None:
@@ -142,6 +196,14 @@ def cmd_accum(args) -> int:
         acc, tally = parallel_accumulate_stream(
             d, sys.stdin.buffer, args.record, jobs=stream_jobs,
             tracked=args.track, summaries=args.summaries)
+        header_acc, count = None, tally.records
+    elif engine == "batch":
+        if args.header:
+            raise PadsError("--header needs a serial prefix parse; use "
+                            "--engine cursor")
+        acc, tally = d.accumulate_batch(_batch_input(args), args.record,
+                                        tracked=args.track,
+                                        summaries=args.summaries)
         header_acc, count = None, tally.records
     elif args.summaries:
         # Attach streaming histograms/quantiles before feeding records.
@@ -195,6 +257,7 @@ def _emit_text(text: str) -> None:
 def cmd_fmt(args) -> int:
     from .fmt import format_records
     d = _load(args)
+    engine = _pick_engine(args, d, args.record)
     path = _parallel_file(args)
     stream_jobs = _stream_jobs(args)
     pairs = None
@@ -202,6 +265,8 @@ def cmd_fmt(args) -> int:
         from ..parallel import parallel_records_stream
         pairs = parallel_records_stream(d, sys.stdin.buffer, args.record,
                                         jobs=stream_jobs)
+    elif path is None and engine == "batch":
+        pairs = d.records_batch(_batch_input(args), args.record)
     if path is not None or pairs is not None:
         data = path
     else:
@@ -217,6 +282,7 @@ def cmd_fmt(args) -> int:
 def cmd_xml(args) -> int:
     from .xml_out import xml_records
     d = _load(args)
+    engine = _pick_engine(args, d, args.record)
     path = _parallel_file(args)
     stream_jobs = _stream_jobs(args)
     pairs = None
@@ -224,6 +290,8 @@ def cmd_xml(args) -> int:
         from ..parallel import parallel_records_stream
         pairs = parallel_records_stream(d, sys.stdin.buffer, args.record,
                                         jobs=stream_jobs)
+    elif path is None and engine == "batch":
+        pairs = d.records_batch(_batch_input(args), args.record)
     if path is not None or pairs is not None:
         data = path
     else:
@@ -237,6 +305,7 @@ def cmd_xml(args) -> int:
 def cmd_count(args) -> int:
     """The paper's record-counting program (the Figure 10 floor task)."""
     d = _load(args)
+    engine = _pick_engine(args, d, None)
     path = _parallel_file(args)
     stream_jobs = _stream_jobs(args)
     if path is not None:
@@ -244,6 +313,8 @@ def cmd_count(args) -> int:
     elif stream_jobs is not None:
         from ..parallel import parallel_count_stream
         count = parallel_count_stream(d, sys.stdin.buffer, jobs=stream_jobs)
+    elif engine == "batch":
+        count = d.count_records_batch(_batch_input(args))
     else:
         count = d.count_records(_data_input(args, d))
     print(count)
@@ -422,6 +493,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "(stdin/--follow; default 1 MiB) — peak "
                             "buffered bytes stay within 2x this")
 
+    def engine_flag(p):
+        p.add_argument("--engine", choices=["auto", "batch", "cursor"],
+                       default="auto",
+                       help="record engine: 'batch' forces the vectorized "
+                            "columnar kernels (exit 2 if the description "
+                            "is not batch-eligible), 'cursor' pins the "
+                            "ordinary serial loop, 'auto' (default) picks "
+                            "batch whenever eligible")
+
     def obs_flags(p):
         p.add_argument("--stats", nargs="?", const="text",
                        choices=["text", "json"], default=None,
@@ -457,6 +537,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(paper Section 9)")
     jobs_flag(p)
     stream_flags(p)
+    engine_flag(p)
     obs_flags(p)
     p.set_defaults(fn=cmd_accum)
 
@@ -468,6 +549,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--skip-errors", action="store_true")
     jobs_flag(p)
     stream_flags(p)
+    engine_flag(p)
     obs_flags(p)
     p.set_defaults(fn=cmd_fmt)
 
@@ -476,6 +558,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--record", required=True)
     jobs_flag(p)
     stream_flags(p)
+    engine_flag(p)
     obs_flags(p)
     p.set_defaults(fn=cmd_xml)
 
@@ -484,6 +567,7 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     jobs_flag(p)
     stream_flags(p)
+    engine_flag(p)
     obs_flags(p)
     p.set_defaults(fn=cmd_count)
 
@@ -580,11 +664,17 @@ def _run(args) -> int:
     try:
         with observe.observed(trace_sink=sink) as obs:
             ret = args.fn(args)
+        engine = getattr(args, "_engine_used", None)
         if stats == "json":
-            print(json.dumps(obs.stats(), indent=2, sort_keys=True),
-                  file=sys.stderr)
+            doc = obs.stats()
+            if engine is not None:
+                doc["engine"] = engine
+            print(json.dumps(doc, indent=2, sort_keys=True), file=sys.stderr)
         elif stats is not None:
-            print(obs.summary(), file=sys.stderr)
+            text = obs.summary()
+            if engine is not None:
+                text += f"\nengine:  {engine}"
+            print(text, file=sys.stderr)
         return ret
     finally:
         if opened is not None:
