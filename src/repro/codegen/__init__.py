@@ -2,7 +2,7 @@
 
 Mirrors the paper's compile-don't-interpret design decision ("we compile
 the PADS description rather than simply interpret it to reduce run-time
-overhead", Section 1).  The ablation benchmark compares the two paths.
+overhead", Section 1).  The ablation benchmark compares the paths.
 
 Typical use::
 
@@ -11,14 +11,19 @@ Typical use::
     rep, pd = gen.parse(data, "entry_t")
 
 ``generate_source`` returns the module source (what ``padsc compile``
-writes to disk); ``compile_generated`` generates, ``exec``s and wraps it
-in a :class:`GeneratedDescription` with the same API surface as the
-interpreted :class:`~repro.core.api.CompiledDescription`.
+writes to disk); ``compile_generated`` compiles the description through
+one of the registered codegen backends (:mod:`repro.codegen.backends`)
+and wraps the module in a :class:`GeneratedDescription` with the same
+API surface as the interpreted
+:class:`~repro.core.api.CompiledDescription`.  ``backend`` picks the
+compiler: ``"auto"`` (the default) follows the plan's per-description
+``codegen_verdict`` — the AST-specializing backend when there is fast
+code to specialize, the source emitter otherwise — while ``"source"``
+and ``"ast"`` force one.
 """
 
 from __future__ import annotations
 
-import types as _types
 from time import perf_counter
 from typing import Iterator, Optional, Tuple
 
@@ -29,11 +34,12 @@ from ..core.limits import ParseLimits, record_guard
 from ..core.masks import Mask, P_CheckAndSet
 from ..dsl.parser import parse_description
 from ..dsl.typecheck import check_description
-from .emitter import generate_source as _emit
+from ..plan import analyze
+from .backends import CompiledModule, get_backend, select_backend
+from .backends import load_source as load_module  # noqa: F401 - compat
+from .backends.source import generate_source as _emit
 
 __all__ = ["generate_source", "compile_generated", "GeneratedDescription"]
-
-_counter = 0
 
 
 def generate_source(text: str, *, ambient: str = "ascii",
@@ -50,30 +56,23 @@ def generate_source(text: str, *, ambient: str = "ascii",
     return _emit(desc, ambient, source_text=text, fastpath=fastpath)
 
 
-def load_module(py_source: str, module_name: Optional[str] = None):
-    """``exec`` a generated module's source and return the module object."""
-    global _counter
-    if module_name is None:
-        _counter += 1
-        module_name = f"_pads_generated_{_counter}"
-    module = _types.ModuleType(module_name)
-    module.__dict__["__name__"] = module_name
-    code = compile(py_source, f"<{module_name}>", "exec")
-    exec(code, module.__dict__)  # noqa: S102 - code we just generated
-    return module
-
-
 def compile_generated(text: str, *, ambient: str = "ascii",
                       discipline: Optional[RecordDiscipline] = None,
                       filename: str = "<description>",
                       check: bool = True,
                       fastpath: bool = True,
-                      limits: Optional[ParseLimits] = None) -> "GeneratedDescription":
-    """Generate, load and wrap a parser module for ``text``."""
-    py_source = generate_source(text, ambient=ambient, filename=filename,
-                                check=check, fastpath=fastpath)
-    module = load_module(py_source)
-    return GeneratedDescription(module, discipline, py_source, limits=limits)
+                      limits: Optional[ParseLimits] = None,
+                      backend: str = "auto") -> "GeneratedDescription":
+    """Compile, load and wrap a parser module for ``text``."""
+    desc = parse_description(text, filename)
+    if check:
+        check_description(desc, ambient)
+    plan = analyze(desc, ambient)
+    chosen, _reason = select_backend(plan, backend, fastpath=fastpath)
+    compiled = chosen.compile(desc, plan, source_text=text,
+                              fastpath=fastpath)
+    return GeneratedDescription(compiled.module, discipline,
+                                limits=limits, compiled=compiled)
 
 
 class GeneratedDescription:
@@ -82,14 +81,36 @@ class GeneratedDescription:
     verify), so clients and tests can swap the two freely."""
 
     def __init__(self, module, discipline: Optional[RecordDiscipline] = None,
-                 py_source: str = "", limits: Optional[ParseLimits] = None):
+                 py_source: Optional[str] = None,
+                 limits: Optional[ParseLimits] = None,
+                 compiled: Optional[CompiledModule] = None):
         self.module = module
-        self.py_source = py_source
+        if compiled is None:
+            compiled = CompiledModule(module=module, backend="source",
+                                      py_source=py_source or "")
+        #: The backend artifact: provenance plus the ``dump()`` view.
+        self.compiled = compiled
+        #: Which codegen backend built the module ('source' or 'ast').
+        self.backend = compiled.backend
+        self._py_source: Optional[str] = None
         from ..core.io import NewlineRecords
         self.discipline = discipline or NewlineRecords()
         #: Resource budget attached to every source this description opens.
         self.limits = limits
         module.DISCIPLINE = self.discipline
+
+    @property
+    def py_source(self) -> str:
+        """A readable rendering of the generated module: the emitted
+        source (source backend) or a cached ``ast.unparse`` of the
+        specialized tree (AST backend — the ``--dump`` debugging view,
+        never what actually ran)."""
+        if self._py_source is None:
+            self._py_source = self.compiled.dump()
+        return self._py_source
+
+    def dump(self) -> str:
+        return self.py_source
 
     # -- introspection ------------------------------------------------------
 

@@ -1,0 +1,78 @@
+"""Codegen backends: interchangeable compilers over the plan IR.
+
+The plan layer (:mod:`repro.plan`) analyzes a description once; a
+*backend* turns that analyzed plan into an executable parser module.
+Backends implement the tiny :class:`Compilable` protocol
+(:mod:`repro.codegen.backends.base`) and are registered here:
+
+``source``
+    The original string emitter (:mod:`repro.codegen.backends.source`):
+    generates module source text and ``exec``'s it.  Always available,
+    handles every description.
+
+``ast``
+    The AST-specializing backend
+    (:mod:`repro.codegen.backends.astspec`): specializes the module as
+    a Python AST — monomorphic ``dosem`` clones of the record fast
+    functions, constant-folded branch tests, merged/byte-compare
+    literal probes — and ``compile()``s the tree directly.
+
+Selection is per-description and plan-driven: ``select_backend`` reads
+the ``codegen_verdict`` the plan records next to its fastpath/batch
+verdicts and picks ``ast`` only when there is straight-line fast-path
+code to specialize.  ``auto`` is the default everywhere; explicit
+``backend="source"``/``"ast"`` overrides are threaded through
+:func:`repro.codegen.compile_generated`,
+:func:`repro.core.api.compile_description` and ``padsc --backend``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ...plan import Plan
+from .astspec import AstBackend
+from .base import Compilable, CompiledModule, load_source, load_tree
+from .source import SourceBackend
+
+__all__ = [
+    "Compilable", "CompiledModule", "AstBackend", "SourceBackend",
+    "BACKENDS", "get_backend", "select_backend",
+    "load_source", "load_tree",
+]
+
+#: The backend registry; every entry satisfies :class:`Compilable`.
+BACKENDS: Dict[str, Compilable] = {
+    backend.name: backend for backend in (SourceBackend(), AstBackend())
+}
+
+
+def get_backend(name: str) -> Compilable:
+    """The registered backend called ``name`` ('source' or 'ast')."""
+    try:
+        return BACKENDS[name]
+    except KeyError:
+        known = ", ".join(sorted(BACKENDS))
+        raise ValueError(
+            f"unknown codegen backend {name!r} (known: {known})") from None
+
+
+def select_backend(plan: Plan, choice: str = "auto",
+                   fastpath: bool = True) -> Tuple[Compilable, str]:
+    """Resolve ``choice`` to a backend, returning ``(backend, reason)``.
+
+    ``auto`` follows the plan's per-declaration ``codegen_verdict``:
+    the AST backend when any declaration carries specializable fast
+    code, the source backend otherwise (or when fast paths are disabled
+    — reference mode has nothing to specialize).
+    """
+    if choice != "auto":
+        return get_backend(choice), f"forced by backend={choice!r}"
+    if not fastpath:
+        return BACKENDS["source"], "reference mode (fastpath disabled)"
+    eligible = [name for name, dp in plan.decls.items()
+                if dp.codegen_verdict.eligible]
+    if eligible:
+        return (BACKENDS["ast"],
+                f"plan: specializable fast code in {', '.join(eligible)}")
+    return BACKENDS["source"], "plan: no declaration has fast code"

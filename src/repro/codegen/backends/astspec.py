@@ -1,0 +1,411 @@
+"""The AST-specializing backend: per-description Python AST, compiled
+directly.
+
+The source backend emits module text and ``exec``'s it; this backend
+works on the module as a Python **AST** and specializes it per
+description before ``compile()``-ing the tree — the code object never
+exists as source text (``ast.unparse`` is kept only for the ``--dump``
+debugging path).  The staging mirrors llindstrom/pixel's ``expand.py``:
+a template, then a sequence of tree transforms.
+
+1. **Template** — the plan-driven emitter output for this description
+   is parsed once with ``ast.parse``.  This is a forward lowering (plan
+   -> source template -> tree), not a round trip: nothing is unparsed
+   back to text on the compile path, and all general parse/write/verify
+   code stays shared with the source backend, which is what keeps the
+   two backends observationally identical by construction.
+
+2. **``dosem`` specialization** — every record fast function
+   ``_fp_<name>(_line, dosem)`` (and each auxiliary element reader
+   ``_fpelt_*`` it calls) is cloned into two monomorphic variants with
+   the ``dosem`` flag constant-folded away: ``_fp_<name>__sem`` keeps
+   the semantic-constraint checks, ``_fp_<name>__nosem`` drops them
+   entirely.  Calls into the reader symbol table with a now-constant
+   ``dosem`` argument are redirected to the matching pre-specialized
+   clone, so the per-element readers are monomorphic too.  The record
+   wrapper's fast-path call site is rewritten to pick the variant from
+   ``mask.bits & 4`` once per record.
+
+3. **Constant folding** — branch tests decided by the bound constants
+   are simplified (``dosem and not (lo <= v <= hi)`` becomes
+   ``not (lo <= v <= hi)`` or disappears), and in fixed-width slicing
+   functions — which open with a static ``len(_line) != <width>``
+   guard, so every literal offset is proven in range — adjacent literal
+   ``startswith`` probes are merged into one and single-byte probes are
+   folded to integer subscript compares (``_line[k] != 0x7c``).
+
+Everything outside the materialized fast paths is left untouched: the
+general parsers, writers and accumulators are byte-for-byte the
+template's, which the differential sweep then pins against the source
+backend and the interpreter.
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+from typing import Dict, List, Optional, Tuple
+
+from ...dsl import ast as D
+from ...plan import Plan
+from .base import CompiledModule, load_tree
+from .source import generate_source
+
+#: Clone-name suffixes for the two ``dosem`` specializations.
+SEM, NOSEM = "__sem", "__nosem"
+
+
+def _suffix(dosem: bool) -> str:
+    return SEM if dosem else NOSEM
+
+
+# -- constant folding ---------------------------------------------------------
+
+
+def _truth(expr: ast.expr) -> Optional[bool]:
+    """The truth value of ``expr`` when statically known, else None.
+
+    Only used on branch tests inside generated fast functions, whose
+    operands are pure — so boolean-context truth is all that matters.
+    """
+    if isinstance(expr, ast.Constant):
+        return bool(expr.value)
+    if isinstance(expr, ast.UnaryOp) and isinstance(expr.op, ast.Not):
+        t = _truth(expr.operand)
+        return None if t is None else not t
+    if isinstance(expr, ast.BoolOp):
+        ts = [_truth(v) for v in expr.values]
+        if isinstance(expr.op, ast.And):
+            if any(t is False for t in ts):
+                return False
+            if all(t is True for t in ts):
+                return True
+        else:  # Or
+            if any(t is True for t in ts):
+                return True
+            if all(t is False for t in ts):
+                return False
+    return None
+
+
+class _BindDosem(ast.NodeTransformer):
+    """Replace reads of the ``dosem`` flag with a constant."""
+
+    def __init__(self, value: bool):
+        self.value = value
+
+    def visit_Name(self, node: ast.Name):
+        if node.id == "dosem" and isinstance(node.ctx, ast.Load):
+            return ast.copy_location(ast.Constant(self.value), node)
+        return node
+
+
+class _FoldBranches(ast.NodeTransformer):
+    """Simplify branches whose tests the bound constants decide."""
+
+    def _simplify(self, test: ast.expr) -> ast.expr:
+        if isinstance(test, ast.BoolOp):
+            keep: List[ast.expr] = []
+            for value in (self._simplify(v) for v in test.values):
+                t = _truth(value)
+                if isinstance(test.op, ast.And) and t is True:
+                    continue  # `True and x` == x
+                if isinstance(test.op, ast.Or) and t is False:
+                    continue  # `False or x` == x
+                keep.append(value)
+            if not keep:
+                return ast.copy_location(
+                    ast.Constant(isinstance(test.op, ast.And)), test)
+            if len(keep) == 1:
+                return keep[0]
+            return ast.copy_location(
+                ast.BoolOp(op=test.op, values=keep), test)
+        return test
+
+    def visit_If(self, node: ast.If):
+        self.generic_visit(node)
+        node.test = self._simplify(node.test)
+        t = _truth(node.test)
+        if t is True:
+            return node.body
+        if t is False:
+            return node.orelse or None
+        return node
+
+
+def _repair_empty_bodies(fn: ast.FunctionDef) -> None:
+    """Folding may empty a suite Python requires non-empty; pad it."""
+    for node in ast.walk(fn):
+        for attr in ("body", "orelse", "finalbody"):
+            suite = getattr(node, attr, None)
+            if suite == [] and attr == "body":
+                suite.append(ast.Pass())
+
+
+# -- literal byte probes ------------------------------------------------------
+
+
+def _probe(stmt: ast.stmt) -> Optional[Tuple[bytes, int]]:
+    """Match a literal probe — ``if not _line.startswith(b'...', k):
+    return None`` or its folded single-byte form ``if _line[k] != c:
+    return None`` — and return ``(literal, offset)``; None when the
+    statement is anything else."""
+    if not (isinstance(stmt, ast.If) and not stmt.orelse
+            and len(stmt.body) == 1):
+        return None
+    ret = stmt.body[0]
+    if not (isinstance(ret, ast.Return) and isinstance(ret.value, ast.Constant)
+            and ret.value.value is None):
+        return None
+    test = stmt.test
+    if (isinstance(test, ast.Compare) and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.NotEq)
+            and isinstance(test.left, ast.Subscript)
+            and isinstance(test.left.value, ast.Name)
+            and test.left.value.id == "_line"
+            and isinstance(test.left.slice, ast.Constant)
+            and isinstance(test.left.slice.value, int)
+            and isinstance(test.comparators[0], ast.Constant)
+            and isinstance(test.comparators[0].value, int)):
+        return (bytes([test.comparators[0].value]), test.left.slice.value)
+    if not (isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not)):
+        return None
+    call = test.operand
+    if not (isinstance(call, ast.Call) and isinstance(call.func, ast.Attribute)
+            and call.func.attr == "startswith"
+            and isinstance(call.func.value, ast.Name)
+            and call.func.value.id == "_line"
+            and len(call.args) == 2 and not call.keywords
+            and isinstance(call.args[0], ast.Constant)
+            and isinstance(call.args[0].value, bytes)
+            and isinstance(call.args[1], ast.Constant)
+            and isinstance(call.args[1].value, int)):
+        return None
+    return call.args[0].value, call.args[1].value
+
+
+def _make_probe(template: ast.stmt, lit: bytes, off: int) -> ast.stmt:
+    """``if not _line.startswith(lit, off): return None`` — or, for a
+    single byte, the cheaper ``if _line[off] != <int>: return None``."""
+    if len(lit) == 1:
+        test: ast.expr = ast.Compare(
+            left=ast.Subscript(value=ast.Name("_line", ast.Load()),
+                               slice=ast.Constant(off), ctx=ast.Load()),
+            ops=[ast.NotEq()], comparators=[ast.Constant(lit[0])])
+    else:
+        test = ast.UnaryOp(op=ast.Not(), operand=ast.Call(
+            func=ast.Attribute(value=ast.Name("_line", ast.Load()),
+                               attr="startswith", ctx=ast.Load()),
+            args=[ast.Constant(lit), ast.Constant(off)], keywords=[]))
+    return ast.copy_location(
+        ast.If(test=test, body=[ast.Return(ast.Constant(None))], orelse=[]),
+        template)
+
+
+def _slice_guard_width(fn: ast.FunctionDef) -> Optional[int]:
+    """The static record width when ``fn`` opens with the slicing
+    backend's ``if len(_line) != N: return None`` guard, else None."""
+    body = fn.body
+    if body and isinstance(body[0], ast.Expr):  # docstring
+        body = body[1:]
+    if not body or not isinstance(body[0], ast.If):
+        return None
+    test = body[0].test
+    if (isinstance(test, ast.Compare) and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.NotEq)
+            and isinstance(test.left, ast.Call)
+            and isinstance(test.left.func, ast.Name)
+            and test.left.func.id == "len"
+            and isinstance(test.comparators[0], ast.Constant)
+            and isinstance(test.comparators[0].value, int)):
+        return test.comparators[0].value
+    return None
+
+
+def _fold_probes(fn: ast.FunctionDef) -> None:
+    """Merge runs of adjacent literal probes and byte-compare the
+    single-byte ones.  Only called on fixed-width slicing fast
+    functions, whose leading length guard proves every probe offset in
+    range (so ``_line[k]`` can never raise where ``startswith`` would
+    have returned False)."""
+    width = _slice_guard_width(fn)
+    if width is None:
+        return
+
+    def rewrite(suite: List[ast.stmt]) -> List[ast.stmt]:
+        out: List[ast.stmt] = []
+        for stmt in suite:
+            for attr in ("body", "orelse", "finalbody"):
+                inner = getattr(stmt, attr, None)
+                if inner:
+                    setattr(stmt, attr, rewrite(inner))
+            p = _probe(stmt)
+            if p is not None and p[1] + len(p[0]) <= width:
+                if out:
+                    q = _probe(out[-1])
+                    if q is not None and q[1] + len(q[0]) == p[1]:
+                        out[-1] = _make_probe(stmt, q[0] + p[0], q[1])
+                        continue
+                out.append(_make_probe(stmt, p[0], p[1]))
+                continue
+            out.append(stmt)
+        return out
+
+    fn.body = rewrite(fn.body)
+
+
+# -- reader specialization ----------------------------------------------------
+
+
+class _RedirectReaders(ast.NodeTransformer):
+    """Point calls whose trailing ``dosem`` argument is now a constant
+    at the matching monomorphic clone from the reader symbol table."""
+
+    def __init__(self, symtab: Dict[str, ast.FunctionDef]):
+        self.symtab = symtab
+
+    def visit_Call(self, node: ast.Call):
+        self.generic_visit(node)
+        if (isinstance(node.func, ast.Name) and node.func.id in self.symtab
+                and node.args and not node.keywords
+                and isinstance(node.args[-1], ast.Constant)
+                and isinstance(node.args[-1].value, bool)):
+            node.func = ast.copy_location(
+                ast.Name(node.func.id + _suffix(node.args[-1].value),
+                         ast.Load()), node.func)
+            node.args = node.args[:-1]
+        return node
+
+
+def _strip_docstring(fn: ast.FunctionDef) -> None:
+    if (fn.body and isinstance(fn.body[0], ast.Expr)
+            and isinstance(fn.body[0].value, ast.Constant)
+            and isinstance(fn.body[0].value.value, str)):
+        del fn.body[0]
+
+
+def _specialize_reader(fn: ast.FunctionDef, dosem: bool,
+                       symtab: Dict[str, ast.FunctionDef],
+                       fold_literals: bool) -> ast.FunctionDef:
+    """One monomorphic clone of a ``(.., dosem)`` reader function."""
+    clone = copy.deepcopy(fn)
+    clone.name = fn.name + _suffix(dosem)
+    assert clone.args.args and clone.args.args[-1].arg == "dosem"
+    del clone.args.args[-1]
+    _strip_docstring(clone)
+    _BindDosem(dosem).visit(clone)
+    _FoldBranches().visit(clone)
+    _RedirectReaders(symtab).visit(clone)
+    if fold_literals:
+        _fold_probes(clone)
+    _repair_empty_bodies(clone)
+    return clone
+
+
+class _RewriteFastCall(ast.NodeTransformer):
+    """In a record wrapper, split the polymorphic fast-path call
+
+        _rep = _fp_<name>(src.record_bytes(), (mask.bits & 4) != 0)
+
+    into a two-way branch on ``mask.bits & 4`` calling the monomorphic
+    clones, hoisting the per-record ``dosem`` computation out of the
+    fast function entirely."""
+
+    def __init__(self, fast_names: Dict[str, str]):
+        self.fast_names = fast_names  # fast fn name -> itself (a set-ish map)
+        self.rewrote = 0
+
+    def visit_Assign(self, node: ast.Assign):
+        call = node.value
+        if not (isinstance(call, ast.Call) and isinstance(call.func, ast.Name)
+                and call.func.id in self.fast_names
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == "_rep"):
+            return node
+        fast = call.func.id
+        line_arg = call.args[0]
+
+        def variant(dosem: bool) -> ast.stmt:
+            return ast.Assign(
+                targets=[ast.Name("_rep", ast.Store())],
+                value=ast.Call(func=ast.Name(fast + _suffix(dosem),
+                                             ast.Load()),
+                               args=[copy.deepcopy(line_arg)], keywords=[]))
+
+        gate = ast.BinOp(
+            left=ast.Attribute(value=ast.Name("mask", ast.Load()),
+                               attr="bits", ctx=ast.Load()),
+            op=ast.BitAnd(), right=ast.Constant(4))
+        self.rewrote += 1
+        return ast.copy_location(
+            ast.If(test=gate, body=[variant(True)], orelse=[variant(False)]),
+            node)
+
+
+# -- the backend --------------------------------------------------------------
+
+
+def specialize(desc: D.Description, plan: Plan, *, source_text: str = "",
+               fastpath: bool = True) -> ast.Module:
+    """Build the specialized module AST for ``desc`` under ``plan``."""
+    template = generate_source(desc, plan.ambient, source_text=source_text,
+                               plan=plan, fastpath=fastpath)
+    tree = ast.parse(template)
+    if fastpath:
+        _specialize_tree(tree, plan)
+    ast.fix_missing_locations(tree)
+    return tree
+
+
+def _specialize_tree(tree: ast.Module, plan: Plan) -> None:
+    fast_names = {dp.fast_fn[0] for dp in plan.decls.values()
+                  if dp.verdict.eligible and dp.fast_fn is not None}
+    slicing = {dp.fast_fn[0] for dp in plan.decls.values()
+               if dp.verdict.eligible and dp.fast_fn is not None
+               and "slicing" in dp.verdict.reason}
+    if not fast_names:
+        return
+
+    # The reader symbol table: the record fast functions plus every
+    # auxiliary element reader they emitted (all take a trailing
+    # ``dosem`` flag and are monomorphized against it).
+    symtab: Dict[str, ast.FunctionDef] = {}
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef) and (
+                node.name in fast_names
+                or node.name.startswith("_fpelt_")):
+            if node.args.args and node.args.args[-1].arg == "dosem":
+                symtab[node.name] = node
+
+    body: List[ast.stmt] = []
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name in symtab:
+            fold = node.name in slicing
+            body.append(_specialize_reader(node, True, symtab, fold))
+            body.append(_specialize_reader(node, False, symtab, fold))
+            continue  # the polymorphic original is dead code: drop it
+        body.append(node)
+    tree.body = body
+
+    rewriter = _RewriteFastCall({name: name for name in fast_names})
+    rewriter.visit(tree)
+    # Every fast function the plan materialized has exactly one wrapper
+    # call site; a miss means the emitter's shape changed under us.
+    assert rewriter.rewrote == len(fast_names), \
+        (rewriter.rewrote, sorted(fast_names))
+
+
+class AstBackend:
+    """The :class:`~repro.codegen.backends.base.Compilable` AST backend."""
+
+    name = "ast"
+
+    def compile(self, desc: D.Description, plan: Plan, *,
+                source_text: str = "", fastpath: bool = True,
+                module_name: Optional[str] = None) -> CompiledModule:
+        tree = specialize(desc, plan, source_text=source_text,
+                          fastpath=fastpath)
+        module = load_tree(tree, module_name)
+        return CompiledModule(module=module, backend=self.name,
+                              py_source=None, tree=tree)

@@ -1,0 +1,90 @@
+"""The ``Compilable`` backend protocol and its compiled-module artifact.
+
+A codegen backend turns one analyzed plan (plus the checked description
+it came from) into an executable Python module carrying the generated
+parser surface (``TYPES``, ``BATCH``, ``SOURCE`` ...).  Backends differ
+only in *how* they build that module — the source backend emits and
+``exec``'s module source text, the AST backend specializes a Python AST
+and compiles the tree directly — so the protocol is deliberately tiny:
+a ``name`` and one ``compile`` method over plan nodes.
+"""
+
+from __future__ import annotations
+
+import ast as _ast
+import types as _types
+from dataclasses import dataclass, field
+from typing import Optional, Protocol, runtime_checkable
+
+from ...dsl import ast as D
+from ...plan import Plan
+
+_counter = 0
+
+
+def _fresh_module(module_name: Optional[str] = None) -> _types.ModuleType:
+    """An empty module with a unique name for generated code to live in."""
+    global _counter
+    if module_name is None:
+        _counter += 1
+        module_name = f"_pads_generated_{_counter}"
+    module = _types.ModuleType(module_name)
+    module.__dict__["__name__"] = module_name
+    return module
+
+
+def load_source(py_source: str,
+                module_name: Optional[str] = None) -> _types.ModuleType:
+    """``exec`` a generated module's source and return the module object."""
+    module = _fresh_module(module_name)
+    code = compile(py_source, f"<{module.__name__}>", "exec")
+    exec(code, module.__dict__)  # noqa: S102 - code we just generated
+    return module
+
+
+def load_tree(tree: _ast.Module,
+              module_name: Optional[str] = None) -> _types.ModuleType:
+    """Compile a specialized module AST and return the module object —
+    the tree is never round-tripped through source text."""
+    module = _fresh_module(module_name)
+    code = compile(tree, f"<{module.__name__} ast>", "exec")
+    exec(code, module.__dict__)  # noqa: S102 - code we just generated
+    return module
+
+
+@dataclass
+class CompiledModule:
+    """What a backend hands back: the loaded module plus provenance.
+
+    ``py_source`` is the module source for backends that have one (the
+    source backend); the AST backend sets it to ``None`` and exposes its
+    specialized tree instead.  ``dump()`` always produces *something*
+    readable: the source text when it exists, otherwise ``ast.unparse``
+    of the tree (the debugging path — never on the compile path).
+    """
+
+    module: _types.ModuleType
+    backend: str
+    py_source: Optional[str] = None
+    tree: Optional[_ast.Module] = field(default=None, repr=False)
+
+    def dump(self) -> str:
+        if self.py_source is not None:
+            return self.py_source
+        if self.tree is None:
+            raise ValueError("compiled module carries neither source nor AST")
+        return (f"# {self.backend} backend: ast.unparse of the specialized "
+                f"module tree (debugging view)\n" + _ast.unparse(self.tree))
+
+
+@runtime_checkable
+class Compilable(Protocol):
+    """A codegen backend: compiles plan nodes to a loaded parser module."""
+
+    name: str
+
+    def compile(self, desc: D.Description, plan: Plan, *,
+                source_text: str = "", fastpath: bool = True,
+                module_name: Optional[str] = None) -> CompiledModule:
+        """Build the generated module for ``desc`` under ``plan``."""
+        ...

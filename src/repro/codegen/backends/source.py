@@ -27,11 +27,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from ..dsl import ast as D
-from ..expr import ast as E
-from ..expr.pycompile import compile_function
-from ..plan import analyze
-from ..plan.ir import (
+from ...dsl import ast as D
+from ...expr import ast as E
+from ...expr.pycompile import compile_function
+from ...plan import analyze
+from ...plan.ir import (
     ArrayPlan,
     BaseUse,
     ComputeItem,
@@ -49,6 +49,7 @@ from ..plan.ir import (
     UnionPlan,
     Use,
 )
+from .base import CompiledModule, load_source
 
 
 class _W:
@@ -1298,3 +1299,25 @@ def generate_source(desc: D.Description, ambient: str = "ascii",
     """Generate a standalone Python module from a checked description."""
     return Emitter(desc, ambient, module_name, source_text, plan,
                    fastpath).emit_module()
+
+
+class SourceBackend:
+    """The string-emitting backend: :class:`Emitter` output, ``exec``'d.
+
+    This is the original code path, refactored behind the
+    :class:`~repro.codegen.backends.base.Compilable` protocol — its
+    emitted module source is byte-identical to the pre-refactor
+    ``repro.codegen.emitter`` output.
+    """
+
+    name = "source"
+
+    def compile(self, desc: D.Description, plan: Plan, *,
+                source_text: str = "", fastpath: bool = True,
+                module_name: Optional[str] = None) -> CompiledModule:
+        py_source = generate_source(desc, plan.ambient,
+                                    source_text=source_text, plan=plan,
+                                    fastpath=fastpath)
+        module = load_source(py_source, module_name)
+        return CompiledModule(module=module, backend=self.name,
+                              py_source=py_source)

@@ -304,7 +304,8 @@ def compile_description(text: str, *, ambient: str = "ascii",
                         check: bool = True,
                         fastpath: bool = True,
                         limits: Optional[ParseLimits] = None,
-                        base_type_files: Optional[list] = None) -> CompiledDescription:
+                        base_type_files: Optional[list] = None,
+                        backend: Optional[str] = None):
     """Parse, typecheck, analyze and bind a PADS description.
 
     ``ambient`` selects the ambient coding ('ascii', 'binary', 'ebcdic');
@@ -315,10 +316,23 @@ def compile_description(text: str, *, ambient: str = "ascii",
     resource budget attached to every source the description opens;
     ``base_type_files`` lists user base-type specification files to load
     first (paper Section 6).
+
+    ``backend`` selects the execution engine: ``None`` (the default)
+    binds the interpreted combinators; ``'auto'``, ``'source'`` or
+    ``'ast'`` compile through the named codegen backend
+    (:mod:`repro.codegen.backends`) and return the generated twin,
+    :class:`~repro.codegen.GeneratedDescription` — same API surface,
+    byte-identical results.
     """
     if base_type_files:
         from .basetypes.userdef import load_base_type_files
         load_base_type_files(base_type_files)
+    if backend is not None:
+        from ..codegen import compile_generated
+        return compile_generated(text, ambient=ambient,
+                                 discipline=discipline, filename=filename,
+                                 check=check, fastpath=fastpath,
+                                 limits=limits, backend=backend)
     desc = parse_description(text, filename)
     if check:
         check_description(desc, ambient)
@@ -327,6 +341,6 @@ def compile_description(text: str, *, ambient: str = "ascii",
                                limits=limits)
 
 
-def compile_file(path: str, **kwargs) -> CompiledDescription:
+def compile_file(path: str, **kwargs):
     with open(path, "r", encoding="utf-8") as handle:
         return compile_description(handle.read(), filename=path, **kwargs)

@@ -89,10 +89,14 @@ class DescSpec:
     #: part of ``key()``: compiled descriptions are limits-independent, so
     #: changing limits never forces a worker recompile.
     limits: Optional[ParseLimits] = None
+    #: Codegen backend for the generated engine ('auto'/'source'/'ast'),
+    #: so workers rebuild with the same specialization as the parent.
+    backend: str = "auto"
 
     def key(self) -> tuple:
         d = self.discipline
-        return (self.text, self.ambient, self.engine, type(d).__name__,
+        return (self.text, self.ambient, self.engine, self.backend,
+                type(d).__name__,
                 getattr(d, "width", None), getattr(d, "prefix", None),
                 getattr(d, "byteorder", None), getattr(d, "inclusive", None))
 
@@ -104,7 +108,8 @@ def _spec_for(description) -> Optional[DescSpec]:
     module = getattr(description, "module", None)
     if module is not None and hasattr(module, "SOURCE"):
         return DescSpec(module.SOURCE, module.AMBIENT, "generated",
-                        description.discipline, limits)
+                        description.discipline, limits,
+                        getattr(description, "backend", "auto"))
     text = getattr(description, "source_text", None)
     ambient = getattr(description, "ambient", None)
     if text is None or ambient is None:
@@ -125,7 +130,8 @@ def _materialise(spec: DescSpec):
         if spec.engine == "generated":
             from .codegen import compile_generated
             desc = compile_generated(spec.text, ambient=spec.ambient,
-                                     discipline=spec.discipline, check=False)
+                                     discipline=spec.discipline, check=False,
+                                     backend=spec.backend)
         else:
             from .core.api import compile_description
             desc = compile_description(spec.text, ambient=spec.ambient,

@@ -53,8 +53,15 @@ def _load(args):
     if getattr(args, "base_types", None):
         from ..core.basetypes.userdef import load_base_type_files
         load_base_type_files(args.base_types)
-    return compile_file(args.description, ambient=args.ambient,
-                        discipline=_discipline(args), limits=_limits(args))
+    backend = getattr(args, "backend", None)
+    d = compile_file(args.description, ambient=args.ambient,
+                     discipline=_discipline(args), limits=_limits(args),
+                     backend=backend)
+    # The resolved choice, for --stats: the interpreter when --backend
+    # was not given, else the codegen backend that actually compiled
+    # (auto resolves per description through the plan's codegen verdicts).
+    args._backend_used = getattr(d, "backend", "interp")
+    return d
 
 
 def _data_input(args, d):
@@ -165,15 +172,31 @@ def cmd_check(args) -> int:
 
 
 def cmd_compile(args) -> int:
-    from ..codegen import generate_source
+    from ..codegen import compile_generated, generate_source
     with open(args.description, "r", encoding="utf-8") as handle:
         text = handle.read()
-    source = generate_source(text, ambient=args.ambient,
-                             filename=args.description)
+    backend = getattr(args, "backend", None) or "source"
+    if backend == "source" and not args.dump:
+        source = generate_source(text, ambient=args.ambient,
+                                 filename=args.description)
+        label = "source backend"
+    else:
+        # --dump: the chosen backend's module rendering.  For the AST
+        # backend that is ``ast.unparse`` of the specialized tree — a
+        # debugging view (the real module is compiled from the tree,
+        # never from this text).
+        if backend == "ast" and not args.dump:
+            raise PadsError(
+                "--backend ast compiles an in-memory AST, not module "
+                "source; add --dump to write the unparsed debugging view")
+        gen = compile_generated(text, ambient=args.ambient,
+                                filename=args.description, backend=backend)
+        source = gen.dump()
+        label = f"{gen.backend} backend dump"
     out = args.output or (args.description.rsplit(".", 1)[0] + "_parser.py")
     with open(out, "w", encoding="utf-8") as handle:
         handle.write(source)
-    print(f"wrote {out} ({len(source.splitlines())} lines)")
+    print(f"wrote {out} ({len(source.splitlines())} lines, {label})")
     return 0
 
 
@@ -323,6 +346,7 @@ def cmd_count(args) -> int:
 
 def cmd_plan(args) -> int:
     """Pretty-print the analyzed plan IR for a description."""
+    from ..codegen.backends import select_backend
     from ..plan import format_plan
     try:
         d = _load(args)
@@ -335,6 +359,8 @@ def cmd_plan(args) -> int:
         print(f"padsc: no type named {args.type!r} in description",
               file=sys.stderr)
         return 2
+    chosen, reason = select_backend(d.plan, "auto")
+    print(f"backend (auto): {chosen.name} — {reason}")
     return 0
 
 
@@ -502,6 +528,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "ordinary serial loop, 'auto' (default) picks "
                             "batch whenever eligible")
 
+    def backend_flag(p):
+        p.add_argument("--backend", choices=["auto", "source", "ast"],
+                       default=None,
+                       help="run through a compiled parser module instead "
+                            "of the interpreter: 'source' is the string "
+                            "emitter, 'ast' the AST-specializing backend, "
+                            "'auto' picks per description from the plan's "
+                            "codegen verdicts; the default stays on the "
+                            "interpreted engine.  Results are "
+                            "byte-identical either way; the resolved "
+                            "choice lands in --stats")
+
     def obs_flags(p):
         p.add_argument("--stats", nargs="?", const="text",
                        choices=["text", "json"], default=None,
@@ -521,6 +559,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compile", help="generate a Python parser module")
     common(p, data=False)
     p.add_argument("-o", "--output")
+    p.add_argument("--backend", choices=["source", "ast"], default="source",
+                   help="codegen backend; 'ast' requires --dump (its "
+                        "module is compiled from a specialized tree and "
+                        "has no canonical source)")
+    p.add_argument("--dump", action="store_true",
+                   help="write the backend's module rendering — for the "
+                        "ast backend, ast.unparse of the specialized "
+                        "tree (a debugging view, not what runs)")
     p.set_defaults(fn=cmd_compile)
 
     p = sub.add_parser("accum", help="statistical profile (accumulators)")
@@ -538,6 +584,7 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_flag(p)
     stream_flags(p)
     engine_flag(p)
+    backend_flag(p)
     obs_flags(p)
     p.set_defaults(fn=cmd_accum)
 
@@ -550,6 +597,7 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_flag(p)
     stream_flags(p)
     engine_flag(p)
+    backend_flag(p)
     obs_flags(p)
     p.set_defaults(fn=cmd_fmt)
 
@@ -559,6 +607,7 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_flag(p)
     stream_flags(p)
     engine_flag(p)
+    backend_flag(p)
     obs_flags(p)
     p.set_defaults(fn=cmd_xml)
 
@@ -568,6 +617,7 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_flag(p)
     stream_flags(p)
     engine_flag(p)
+    backend_flag(p)
     obs_flags(p)
     p.set_defaults(fn=cmd_count)
 
@@ -665,15 +715,20 @@ def _run(args) -> int:
         with observe.observed(trace_sink=sink) as obs:
             ret = args.fn(args)
         engine = getattr(args, "_engine_used", None)
+        backend = getattr(args, "_backend_used", None)
         if stats == "json":
             doc = obs.stats()
             if engine is not None:
                 doc["engine"] = engine
+            if backend is not None:
+                doc["backend"] = backend
             print(json.dumps(doc, indent=2, sort_keys=True), file=sys.stderr)
         elif stats is not None:
             text = obs.summary()
             if engine is not None:
                 text += f"\nengine:  {engine}"
+            if backend is not None:
+                text += f"\nbackend: {backend}"
             print(text, file=sys.stderr)
         return ret
     finally:

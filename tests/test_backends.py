@@ -1,0 +1,200 @@
+"""Tests for the codegen backend layer (``repro.codegen.backends``).
+
+Covers the ``Compilable`` protocol and registry, plan-driven backend
+selection, the AST backend's specialization passes (``dosem`` cloning,
+branch constant folding, literal-probe merging and byte-compare
+lowering), and the ``padsc compile --dump`` debugging path.
+"""
+
+import ast
+
+import pytest
+
+from repro import gallery
+from repro.codegen import compile_generated
+from repro.codegen.backends import (
+    BACKENDS,
+    AstBackend,
+    Compilable,
+    CompiledModule,
+    SourceBackend,
+    get_backend,
+    select_backend,
+)
+from repro.tools.padsc import main
+
+#: Fixed-width record with literal separators: exercises the slicing
+#: fast path, so the AST backend folds its probes (``'|'`` at 3 merges
+#: nothing, but ``'|' '#'`` at 7..8 fuses into one ``startswith``).
+SLICED = """
+Precord Pstruct row_t {
+    Puint8_FW(:3:) a;
+    '|';
+    Puint8_FW(:3:) b;
+    '|';
+    '#';
+    Puint8_FW(:2:) c : c > 0;
+};
+Psource Parray rows_t { row_t[]; };
+"""
+
+SLICED_DATA = b"123|456|#07\n999|888|#00\nxxx|yyy|#11\n"
+
+
+class TestProtocolAndRegistry:
+    def test_backends_satisfy_compilable(self):
+        for name, backend in BACKENDS.items():
+            assert isinstance(backend, Compilable), name
+            assert backend.name == name
+
+    def test_registry_contents(self):
+        assert sorted(BACKENDS) == ["ast", "source"]
+        assert isinstance(get_backend("source"), SourceBackend)
+        assert isinstance(get_backend("ast"), AstBackend)
+
+    def test_unknown_backend_is_an_error(self):
+        with pytest.raises(ValueError, match="unknown codegen backend"):
+            get_backend("llvm")
+        with pytest.raises(ValueError, match="known: ast, source"):
+            compile_generated(gallery.CLF, backend="llvm")
+
+    def test_dump_requires_source_or_tree(self):
+        broken = CompiledModule(module=None, backend="ast")
+        with pytest.raises(ValueError, match="neither source nor AST"):
+            broken.dump()
+
+
+class TestSelection:
+    def test_auto_picks_ast_for_fast_code(self):
+        plan = compile_generated(SLICED, backend="source").plan
+        backend, reason = select_backend(plan, "auto")
+        assert backend.name == "ast"
+        assert "row_t" in reason
+
+    def test_reference_mode_stays_on_source(self):
+        plan = compile_generated(SLICED, backend="source").plan
+        backend, reason = select_backend(plan, "auto", fastpath=False)
+        assert backend.name == "source"
+        assert "reference mode" in reason
+
+    def test_forced_choice_always_honored(self):
+        plan = compile_generated(SLICED, backend="source").plan
+        backend, reason = select_backend(plan, "source")
+        assert backend.name == "source"
+        assert "forced" in reason
+
+    def test_codegen_verdict_follows_fastpath(self):
+        gen = compile_generated(SLICED, backend="source")
+        dp = gen.plan.decl("row_t")
+        assert dp.verdict.eligible
+        assert dp.codegen_verdict.eligible
+        assert dp.codegen_verdict.reason.startswith("ast:")
+
+    def test_description_without_fast_code_selects_source(self):
+        # A runtime-parameterised width defeats the fast-path analysis,
+        # so the plan steers codegen back to the source backend.
+        desc = """
+Precord Pstruct row_t {
+  Puint8 n;
+  ':';
+  Pstring_FW(:n:) s;
+};
+Psource Parray rows_t { row_t[]; };
+"""
+        gen = compile_generated(desc)
+        assert gen.backend == "source"
+        dp = gen.plan.decl("row_t")
+        assert not dp.codegen_verdict.eligible
+        assert "source" in dp.codegen_verdict.reason
+
+
+class TestAstSpecialization:
+    @pytest.fixture(scope="class")
+    def dump(self):
+        return compile_generated(SLICED, backend="ast").dump()
+
+    def test_dump_is_parseable_python(self, dump):
+        assert dump.startswith("# ast backend")
+        ast.parse(dump)  # the unparse debugging view must stay valid
+
+    def test_dosem_clones(self, dump):
+        assert "def _fp_row_t__sem(_line):" in dump
+        assert "def _fp_row_t__nosem(_line):" in dump
+        sem = dump[dump.index("def _fp_row_t__sem"):]
+        sem = sem[:sem.index("\ndef ")]
+        # dosem is constant-folded away inside the clones: no parameter,
+        # no residual guard test.
+        assert "dosem" not in sem
+        nosem = dump[dump.index("def _fp_row_t__nosem"):]
+        nosem = nosem[:nosem.index("\ndef ")]
+        # ... and the __nosem clone dropped the constraint check entirely.
+        assert "c > 0" not in nosem and " > 0" not in nosem
+
+    def test_call_sites_branch_on_mask(self, dump):
+        assert "if mask.bits & 4:" in dump
+        assert "_fp_row_t__sem(" in dump
+        assert "_fp_row_t__nosem(" in dump
+
+    def test_probe_folding(self, dump):
+        # Single-byte literal '|' at offset 3 lowers to a byte compare...
+        assert "_line[3] != 124" in dump
+        # ... and the adjacent '|' '#' literals at 7..8 merge into one
+        # two-byte startswith probe.
+        assert "_line.startswith(b'|#', 7)" in dump
+
+    def test_batch_kernels_left_generic(self, dump):
+        # Batch kernels keep their dosem parameter: only the record fast
+        # functions are cloned.
+        assert "def _bt_row_t(" in dump
+
+    def test_specialized_module_parses_identically(self):
+        src = compile_generated(SLICED, backend="source")
+        spec = compile_generated(SLICED, backend="ast")
+        a = list(src.records(SLICED_DATA, "row_t"))
+        b = list(spec.records(SLICED_DATA, "row_t"))
+        assert [r for r, _ in a] == [r for r, _ in b]
+        assert [p.nerr for _, p in a] == [p.nerr for _, p in b]
+
+    def test_py_source_property_serves_the_dump(self):
+        spec = compile_generated(SLICED, backend="ast")
+        assert spec.backend == "ast"
+        assert spec.compiled.py_source is None
+        assert "_fp_row_t" in spec.py_source   # lazy ast.unparse view
+
+
+class TestCli:
+    @pytest.fixture
+    def sliced_file(self, tmp_path):
+        path = tmp_path / "sliced.pads"
+        path.write_text(SLICED)
+        return str(path)
+
+    def test_plan_reports_backend(self, sliced_file, capsys):
+        assert main(["plan", sliced_file]) == 0
+        out = capsys.readouterr().out
+        assert "codegen: eligible: ast:" in out
+        assert "backend (auto): ast" in out
+
+    def test_compile_ast_without_dump_is_an_error(self, sliced_file,
+                                                  tmp_path, capsys):
+        out = str(tmp_path / "row.py")
+        assert main(["compile", sliced_file, "--backend", "ast",
+                     "-o", out]) == 2
+        assert "--dump" in capsys.readouterr().err
+
+    def test_compile_ast_dump_writes_unparse_view(self, sliced_file,
+                                                  tmp_path, capsys):
+        out = tmp_path / "row.py"
+        assert main(["compile", sliced_file, "--backend", "ast", "--dump",
+                     "-o", str(out)]) == 0
+        assert "ast backend dump" in capsys.readouterr().out
+        text = out.read_text()
+        assert text.startswith("# ast backend")
+        assert "_fp_row_t__nosem" in text
+
+    def test_run_stats_report_backend(self, sliced_file, tmp_path, capsys):
+        data = tmp_path / "rows.dat"
+        data.write_bytes(SLICED_DATA)
+        assert main(["count", sliced_file, str(data),
+                     "--backend", "ast", "--stats"]) == 0
+        assert "backend: ast" in capsys.readouterr().err

@@ -7,6 +7,12 @@ summaries and accumulator reports — enabling observation never changes
 parse results, and both engines report the same (deterministic subset of)
 metrics because the per-field error counters are derived from the pd
 trees both engines already agree on.
+
+The generated engine is additionally crossed over its codegen backends
+(``backend='source'`` vs ``backend='ast'``): the backend choice is an
+implementation detail, so both must stay byte-identical to the
+interpreter on records, pd summaries, observe metrics and accumulator
+reports.
 """
 
 import random
@@ -60,6 +66,20 @@ CASES = {
 @pytest.fixture(scope="module")
 def cases():
     return {name: build() for name, build in CASES.items()}
+
+
+@pytest.fixture(scope="module")
+def backend_cases(cases):
+    """Each case's generated engine rebuilt with every forced backend."""
+    return {
+        name: {
+            backend: compile_generated(
+                interp.source_text, ambient=interp.ambient,
+                discipline=interp.discipline, backend=backend)
+            for backend in ("source", "ast")
+        }
+        for name, (interp, _gen, _data, _rtype) in cases.items()
+    }
 
 
 def run_records(description, data, record_type, *, parallel=False,
@@ -253,6 +273,64 @@ class TestLimitsAgree:
             assert g_reps == i_reps
             assert g_pds == i_pds
             assert g_stats == i_stats
+
+
+@pytest.mark.parametrize("name", list(CASES))
+class TestBackendsAgree:
+    """The source and AST codegen backends against the interpreter.
+
+    All three gallery cases are fastpath-eligible, so ``backend='auto'``
+    resolves to the AST backend and the forced variants pin both code
+    paths explicitly; every backend must match the interpreter on reps,
+    pd summaries and deterministic observe stats, serially and through
+    ``records_parallel`` (whose workers rebuild with the same backend).
+    """
+
+    def test_backend_selection_is_plan_driven(self, cases, backend_cases,
+                                              name):
+        interp, gen, _data, rtype = cases[name]
+        assert interp.plan.decl(rtype).codegen_verdict.eligible
+        assert gen.backend == "ast"     # auto picked the specializer
+        assert backend_cases[name]["source"].backend == "source"
+        assert backend_cases[name]["ast"].backend == "ast"
+
+    def test_records_and_stats_identical(self, cases, backend_cases, name):
+        interp, _gen, data, rtype = cases[name]
+        base_reps, base_pds, base_stats = run_records(interp, data, rtype,
+                                                      metered=True)
+        for backend, gen in backend_cases[name].items():
+            for parallel in (False, True):
+                reps, pds, stats = run_records(gen, data, rtype,
+                                               parallel=parallel,
+                                               metered=True)
+                assert reps == base_reps, backend
+                assert pds == base_pds, backend
+                assert stats == base_stats, backend
+
+    def test_masked_parses_identical(self, cases, backend_cases, name):
+        interp, _gen, data, rtype = cases[name]
+        masks = [Mask(P_CheckAndSet), Mask(P_Check),
+                 Mask(P_Set | MaskFlag.SYN_CHECK)]
+        for mask in masks:
+            base = [pd_summary(p)
+                    for _, p in interp.records(data, rtype, mask)]
+            for backend, gen in backend_cases[name].items():
+                got = [pd_summary(p) for _, p in gen.records(data, rtype,
+                                                             mask)]
+                assert got == base, (backend, mask)
+
+    def test_accumulator_reports_identical(self, cases, backend_cases, name):
+        interp, _gen, data, rtype = cases[name]
+
+        def report(engine):
+            acc = Accumulator(engine.node(rtype), "<top>", 1000)
+            for rep, pd in engine.records(data, rtype):
+                acc.add(rep, pd)
+            return acc.full_report()
+
+        base = report(interp)
+        for backend, gen in backend_cases[name].items():
+            assert report(gen) == base, backend
 
 
 @pytest.mark.parametrize("name", ["clf", "sirius"])

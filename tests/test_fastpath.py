@@ -1,4 +1,4 @@
-"""Tests for the record-level fast path (codegen.fastpath).
+"""Tests for the record-level fast path (plan.fastpath).
 
 The fast path must be *transparent*: over any input, a generated module
 with the fast path produces byte-identical reps and pd summaries to the
