@@ -70,7 +70,9 @@ def main() -> int:
                                  discipline=disc),
     }
 
-    doc = {"records": n, "bytes": len(data), "repeats": repeats,
+    from conftest import machine_line
+    doc = {"machine": machine_line(),
+           "records": n, "bytes": len(data), "repeats": repeats,
            "engines": {}}
     for name, d in engines.items():
         verdict = batch_verdict(d, "call_t")

@@ -78,7 +78,9 @@ def main() -> int:
         counted = gen.count_records_stream(log, window=WINDOW)
         count_s = time.perf_counter() - t0
 
+        from conftest import machine_line
         doc = {
+            "machine": machine_line(),
             "size_mb": round(size_mb, 2),
             "window_bytes": WINDOW,
             "records": records,

@@ -23,10 +23,16 @@ plan pairs get (so the required within-run ratio is ``5.0 / 1.05``).
 A later PR that slows the grid driver by more than 5% of that bar
 fails here, not in review.
 
+Also gates BENCH_durable.json when given: the boundary index must keep
+an indexed seek at least **5x** faster than scanning from byte zero to
+the same record, and the measured checkpoint write cost must stay under
+**5%** of the parse it rode on (the durable engine's acceptance bar,
+ISSUE PR 9).
+
 Usage::
 
     python benchmarks/check_plan_regression.py BENCH_plan.json \
-        [BENCH_parallel.json] [BENCH_batch.json]
+        [BENCH_parallel.json] [BENCH_batch.json] [BENCH_durable.json]
 
 Exits 0 when every gate holds, 1 otherwise.  Stdlib only.
 """
@@ -49,6 +55,8 @@ PAIRS = [
 TOLERANCE = 1.05          # >5% regression fails
 CROSS_TOLERANCE = 2.0     # sanity band for the BENCH_parallel cross-check
 BATCH_SPEEDUP = 5.0       # the batch engine's acceptance bar (ISSUE PR 6)
+SEEK_SPEEDUP = 5.0        # indexed seek vs full scan floor (ISSUE PR 9)
+CKPT_OVERHEAD_PCT = 5.0   # checkpoint write budget, % of the parse
 
 
 def medians(path):
@@ -118,6 +126,29 @@ def main(argv):
                 f"batch engine speedup {max(speedups.values()):.2f}x is "
                 f"below the {BATCH_SPEEDUP}x bar (floor {floor:.2f}x with "
                 f"the {TOLERANCE}x tolerance)")
+
+    if len(argv) > 3:
+        with open(argv[3]) as handle:
+            dur = json.load(handle)
+        seek = dur.get("seek", {}).get("speedup")
+        overhead = dur.get("checkpoint", {}).get("overhead_pct")
+        if seek is None or overhead is None:
+            failures.append(f"no seek/checkpoint results in {argv[3]}")
+        else:
+            verdict = "OK" if seek >= SEEK_SPEEDUP else "SLOW"
+            print(f"indexed seek: {seek:.1f}x over a scan to the same "
+                  f"record (floor {SEEK_SPEEDUP}x) ({verdict})")
+            if seek < SEEK_SPEEDUP:
+                failures.append(
+                    f"indexed seek speedup {seek:.1f}x is below the "
+                    f"{SEEK_SPEEDUP}x floor")
+            verdict = "OK" if overhead <= CKPT_OVERHEAD_PCT else "COSTLY"
+            print(f"checkpoint writes: {overhead:.2f}% of the parse "
+                  f"(budget {CKPT_OVERHEAD_PCT}%) ({verdict})")
+            if overhead > CKPT_OVERHEAD_PCT:
+                failures.append(
+                    f"checkpoint overhead {overhead:.2f}% exceeds the "
+                    f"{CKPT_OVERHEAD_PCT}% budget")
 
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

@@ -19,6 +19,41 @@ N_RECORDS = int(os.environ.get("PADS_BENCH_RECORDS", "20000"))
 SELECT_STATE = "LOC_CRTE"
 
 
+def machine_line() -> str:
+    """One line of provenance for committed ``BENCH_*.json`` snapshots.
+
+    Both the pytest-benchmark envelope (via the update hook below) and
+    the hand-rolled bench scripts (``bench_batch.py``,
+    ``bench_stream.py``, ``bench_durable.py``) embed this same line, so
+    every committed artifact answers "measured where?" identically."""
+    import platform
+    return (f"{platform.python_implementation()} "
+            f"{platform.python_version()} on "
+            f"{platform.system().lower()}-{platform.machine()} "
+            f"({os.cpu_count() or 1} cpu)")
+
+
+#: What ``check_plan_regression.py`` and a human diff actually read.
+_STAT_KEYS = ("min", "max", "mean", "stddev", "median", "rounds",
+              "iterations", "ops")
+
+
+def pytest_benchmark_update_json(config, benchmarks, output_json):
+    """Compact the committed envelope.
+
+    Stock pytest-benchmark JSON carries a screenful of cpuinfo, the git
+    commit block, per-round raw timings and interpreter build strings —
+    none of which the regression gate reads, all of which churn on every
+    machine.  Keep the stats summary plus one provenance line."""
+    output_json["machine_info"] = {"summary": machine_line()}
+    output_json.pop("commit_info", None)
+    for bench in output_json.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        bench["stats"] = {k: stats[k] for k in _STAT_KEYS if k in stats}
+        bench.pop("options", None)
+        bench.pop("extra_info", None)
+
+
 @pytest.fixture(scope="session")
 def sirius_interp():
     return gallery.load_sirius()

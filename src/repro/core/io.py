@@ -300,6 +300,10 @@ class Source:
         self.rec_end = start
         self.rec_next = start
         self._checkpoints = 0
+        #: Optional boundary sampler (``repro.durable.IndexBuilder``)
+        #: notified at sealed-byte retirement; one ``is None`` test per
+        #: record when unused.
+        self.index_sink = None
 
         # Resource budgets (None = unlimited).  ``total_errors`` is the
         # run-wide data-error count the ``max_errors`` budget draws on;
@@ -657,6 +661,9 @@ class Source:
             return
         self.pos = self.rec_next
         self.in_record = False
+        sink = self.index_sink
+        if sink is not None:
+            sink.note(self.record_idx, self.rec_next)
 
     def skip_to_eor(self) -> int:
         """Panic recovery: jump to end-of-record.  Returns bytes skipped."""

@@ -43,6 +43,7 @@ from .tools import datagen
 __all__ = [
     "FaultFailure", "FaultReport", "mutation_battery", "boundary_truncations",
     "encoding_garbage", "fuzz_description", "fuzz_gallery", "GALLERY_TARGETS",
+    "kill_resume_check", "kill_resume_gallery",
 ]
 
 #: Consecutive zero-advance ``records()`` iterations tolerated before the
@@ -326,4 +327,125 @@ def fuzz_gallery(*, n_records: int = 8, seed: int = 0,
             text, record_type, name=name, ambient=ambient,
             discipline=discipline, n_records=n_records, seed=seed,
             limits=limits))
+    return report
+
+
+# -- kill-resume: the durable-run differential ---------------------------------
+
+
+def _durable_child(description, path: str, record_type: str,
+                   interval: int) -> None:
+    """The forked victim: a checkpointed accumulate over ``path``.
+
+    A fresh session group (``setsid``) lets the parent SIGKILL the whole
+    group, so any pool workers die with the run — the same blast radius
+    as an OOM kill or host reboot."""
+    import os as _os
+    _os.setsid()
+    from .durable import accumulate_durable
+    accumulate_durable(description, path, record_type, interval=interval)
+
+
+def kill_resume_check(description, path: str, record_type: str, *,
+                      rng: Optional[random.Random] = None,
+                      interval: int = 50,
+                      timeout: float = 60.0) -> Optional[str]:
+    """SIGKILL a checkpointed run at an arbitrary progress point, resume
+    it, and compare against an uninterrupted reference.
+
+    Returns ``None`` on success or a failure detail string.  The kill
+    lands after the first checkpoint appears plus a random delay, so
+    over repeated seeds it samples arbitrary interruption points —
+    including "after the run already finished", which must degrade to a
+    clean full re-run (the checkpoint is gone by then).
+    """
+    import multiprocessing
+    import os as _os
+    import signal
+    import time
+
+    from .durable import CHECKPOINT_SUFFIX, INDEX_SUFFIX, accumulate_durable
+
+    rng = rng or random.Random(0)
+    ckpt = path + CHECKPOINT_SUFFIX
+    for stale in (ckpt, path + INDEX_SUFFIX):
+        if _os.path.exists(stale):
+            _os.unlink(stale)
+
+    # Uninterrupted reference: the same durable loop, no persistence.
+    ref_acc, ref_tally = accumulate_durable(description, path, record_type,
+                                            checkpoint=None)
+
+    ctx = multiprocessing.get_context("fork")
+    victim = ctx.Process(target=_durable_child,
+                         args=(description, path, record_type, interval))
+    victim.start()
+    deadline = monotonic() + timeout
+    while (not _os.path.exists(ckpt) and victim.is_alive()
+           and monotonic() < deadline):
+        time.sleep(0.001)
+    time.sleep(rng.random() * 0.05)
+    if victim.is_alive():
+        try:
+            _os.killpg(victim.pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass  # finished between the check and the kill
+    victim.join(timeout)
+    if victim.is_alive():
+        victim.kill()
+        victim.join()
+        return "victim did not die within the timeout"
+
+    acc, tally = accumulate_durable(description, path, record_type,
+                                    interval=interval, resume=True)
+    if _os.path.exists(ckpt):
+        return "checkpoint not cleaned up after completed resume"
+    if tally.records != ref_tally.records:
+        return (f"resumed record count {tally.records} != "
+                f"reference {ref_tally.records}")
+    if (tally.bad_records, tally.total_errors, dict(tally.by_code)) != \
+            (ref_tally.bad_records, ref_tally.total_errors,
+             dict(ref_tally.by_code)):
+        return "resumed error accounting diverges from reference"
+    if acc.full_report() != ref_acc.full_report():
+        return "resumed accumulator report diverges from reference"
+    return None
+
+
+def kill_resume_gallery(*, n_records: int = 2000, seed: int = 0,
+                        only: Optional[Sequence[str]] = None) -> FaultReport:
+    """The kill-resume differential over every gallery description
+    (``padsc fuzz --kill-resume``).  Each format gets a conforming file,
+    a SIGKILLed checkpointed run, and a resume that must reproduce the
+    uninterrupted report exactly."""
+    import os as _os
+    import tempfile
+
+    from .core.api import compile_description
+
+    report = FaultReport()
+    rng = random.Random(seed)
+    for name, text, record_type, ambient, discipline in GALLERY_TARGETS:
+        if only is not None and name not in only:
+            continue
+        desc = compile_description(text, ambient=ambient,
+                                   discipline=discipline)
+        records = list(datagen.generate_records(desc, record_type,
+                                                n_records, rng))
+        data = b"".join(records)
+        fd, path = tempfile.mkstemp(prefix=f"kill_resume_{name}_")
+        try:
+            with _os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            detail = kill_resume_check(desc, path, record_type, rng=rng)
+            report.cases += 1
+            report.records += n_records
+            if detail is not None:
+                report.failures.append(FaultFailure(
+                    name, "durable", "kill-resume", "divergence", detail,
+                    data[:256]))
+        finally:
+            for leftover in (path, path + ".padsckpt", path + ".padsidx"):
+                if _os.path.exists(leftover):
+                    _os.unlink(leftover)
     return report

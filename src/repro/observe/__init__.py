@@ -200,6 +200,18 @@ class ParseObserver:
                 "fallback_records": self.metrics.value("batch.fallback_records"),
                 "bytes": self.metrics.value("batch.bytes"),
             },
+            # Durable runs (repro.durable).  Rejections are the load-
+            # bearing numbers: a stale/torn index or checkpoint must show
+            # up here rather than skew a result.
+            "durable": {
+                "checkpoint_writes": self.metrics.value("checkpoint.writes"),
+                "checkpoint_resumes": self.metrics.value("checkpoint.resumes"),
+                "checkpoint_rejected": self.metrics.value("checkpoint.rejected"),
+                "records_skipped": self.metrics.value("checkpoint.records_skipped"),
+                "index_built": self.metrics.value("index.built"),
+                "index_hits": self.metrics.value("index.hits"),
+                "index_rejected": self.metrics.value("index.rejected"),
+            },
         }
         if not deterministic:
             wall = self.elapsed()
@@ -247,6 +259,15 @@ class ParseObserver:
                          f"batches: {s['batch']['batches']} "
                          f"fallbacks: {s['batch']['fallback_records']} "
                          f"bytes: {s['batch']['bytes']}")
+        if any(s["durable"].values()):
+            d = s["durable"]
+            lines.append(f"durable: ckpt-writes: {d['checkpoint_writes']} "
+                         f"resumes: {d['checkpoint_resumes']} "
+                         f"skipped: {d['records_skipped']} "
+                         f"ckpt-rejected: {d['checkpoint_rejected']} "
+                         f"index-built: {d['index_built']} "
+                         f"index-hits: {d['index_hits']} "
+                         f"index-rejected: {d['index_rejected']}")
         for type_name, hist in sorted(s["latency"].items()):
             count_ = hist["count"] if isinstance(hist, dict) else hist
             mean = (hist["sum"] / count_ * 1e6) if isinstance(hist, dict) and count_ else 0.0

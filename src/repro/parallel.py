@@ -268,7 +268,7 @@ def _plan_windows(description, data, jobs: Optional[int],
         # stream stays complete and ordered (metrics alone parallelise).
         return None
     discipline = description.discipline
-    if not discipline.chunkable or _spec_for(description) is None:
+    if _spec_for(description) is None:
         return None
     limits = getattr(description, "limits", None)
     if limits is not None and limits.max_errors is not None:
@@ -278,11 +278,22 @@ def _plan_windows(description, data, jobs: Optional[int],
     if isinstance(data, os.PathLike):
         path = os.fspath(data)
         size = os.path.getsize(path)
-        with open(path, "rb") as handle:
-            chunks = plan_chunks(handle, size, discipline, jobs, start=start)
+        # A persistent boundary index (repro.durable) plans without
+        # re-discovering boundaries — and is the only way to split
+        # disciplines with no scannable boundaries (length-prefixed).
+        from .durable import indexed_file_chunks
+        chunks = indexed_file_chunks(path, discipline, jobs, start=start)
+        if chunks is None:
+            if not discipline.chunkable:
+                return None
+            with open(path, "rb") as handle:
+                chunks = plan_chunks(handle, size, discipline, jobs,
+                                     start=start)
         if not chunks:
             return None
         return [("file", path, s, e) for s, e in chunks], jobs
+    if not discipline.chunkable:
+        return None
     if isinstance(data, (bytes, bytearray, str)):
         raw = data.encode("latin-1") if isinstance(data, str) else bytes(data)
         chunks = plan_chunks(_stdio.BytesIO(raw), len(raw), discipline, jobs,

@@ -86,11 +86,37 @@ def open_stream(data, discipline: Optional[RecordDiscipline] = None, *,
                     "path, fd, socket, or a readable binary object")
 
 
+def _index_sink_for(data, follow: bool, index):
+    """The ``(IndexBuilder, path)`` a streaming pass should feed as a
+    side effect, or ``(None, None)``.
+
+    Only real, seekable files get an index (pipes/sockets/fds have no
+    stable offsets to bind to) and only complete passes (``follow``
+    tails never see EOF, so they could never seal a footer).  ``index``
+    is False, True (default sampling interval) or an int interval.
+    """
+    if not index or follow:
+        return None, None
+    if not isinstance(data, (str, os.PathLike)) \
+            or not os.path.isfile(os.fspath(data)):
+        return None, None
+    from .durable import DEFAULT_INDEX_INTERVAL, IndexBuilder
+    interval = index if isinstance(index, int) and not isinstance(index, bool) \
+        else DEFAULT_INDEX_INTERVAL
+    return IndexBuilder(interval), os.fspath(data)
+
+
+def _publish_index(builder, path: str, discipline) -> None:
+    from .durable import write_index
+    write_index(path, builder, discipline)
+
+
 def records_stream(description, data, type_name: str, mask=None, *,
                    window: Optional[int] = None,
                    follow: bool = False,
                    poll_interval: float = 0.05,
                    idle_timeout: Optional[float] = None,
+                   index=False,
                    ) -> Iterator[Tuple[object, Pd]]:
     """Bounded-memory twin of ``description.records``.
 
@@ -108,7 +134,8 @@ def records_stream(description, data, type_name: str, mask=None, *,
     and already-open :class:`StreamSource` inputs always take the
     cursor path.
     """
-    if (not follow and not isinstance(data, StreamSource)
+    builder, index_path = _index_sink_for(data, follow, index)
+    if (builder is None and not follow and not isinstance(data, StreamSource)
             and not isinstance(data, (bytes, bytearray))):
         from .batch import (
             BATCH_BYTES, _runtime_gate, batch_verdict, records_batch)
@@ -126,8 +153,15 @@ def records_stream(description, data, type_name: str, mask=None, *,
                       follow=follow, poll_interval=poll_interval,
                       idle_timeout=idle_timeout,
                       limits=getattr(description, "limits", None))
+    if builder is not None:
+        src.index_sink = builder
     try:
         yield from description.records(src, type_name, mask)
+        # Reaching here means a clean EOF: every boundary was seen, so
+        # the index can be sealed.  An abandoned iterator publishes
+        # nothing (a partial footer would under-report the file).
+        if builder is not None:
+            _publish_index(builder, index_path, description.discipline)
     finally:
         src.close()
 
@@ -139,6 +173,7 @@ def accumulate_stream(description, data, record_type: str, mask=None, *,
                       follow: bool = False,
                       poll_interval: float = 0.05,
                       idle_timeout: Optional[float] = None,
+                      index=False,
                       ) -> Tuple[Accumulator, ErrorTally]:
     """Bounded-memory accumulation: fold every record of a stream into
     an :class:`~repro.tools.accum.Accumulator` and an
@@ -153,7 +188,7 @@ def accumulate_stream(description, data, record_type: str, mask=None, *,
     for rep, pd in records_stream(description, data, record_type, mask,
                                   window=window, follow=follow,
                                   poll_interval=poll_interval,
-                                  idle_timeout=idle_timeout):
+                                  idle_timeout=idle_timeout, index=index):
         acc.add(rep, pd)
         tally.add(pd)
     return acc, tally
@@ -163,13 +198,15 @@ def count_records_stream(description, data, *,
                          window: Optional[int] = None,
                          follow: bool = False,
                          poll_interval: float = 0.05,
-                         idle_timeout: Optional[float] = None) -> int:
+                         idle_timeout: Optional[float] = None,
+                         index=False) -> int:
     """Bounded-memory record count (record discipline only, no field
     parsing) — the paper's record-counting floor over a live stream.
     Constant-pitch disciplines count by arithmetic over record-aligned
     chunks (:func:`repro.batch.count_records_batch`) when the feed is
     finite."""
-    if (not follow and not isinstance(data, StreamSource)
+    builder, index_path = _index_sink_for(data, follow, index)
+    if (builder is None and not follow and not isinstance(data, StreamSource)
             and not isinstance(data, (bytes, bytearray))
             and getattr(description, "limits", None) is None):
         from .batch import count_records_batch
@@ -182,9 +219,13 @@ def count_records_stream(description, data, *,
                       follow=follow, poll_interval=poll_interval,
                       idle_timeout=idle_timeout,
                       limits=getattr(description, "limits", None))
+    if builder is not None:
+        src.index_sink = builder
     count = 0
     with src:
         while src.begin_record():
             src.end_record()
             count += 1
+    if builder is not None:
+        _publish_index(builder, index_path, description.discipline)
     return count

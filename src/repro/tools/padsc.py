@@ -147,6 +147,44 @@ def _pick_engine(args, d, record_type: Optional[str]) -> str:
     return args._engine_used
 
 
+def _durable_opts(args) -> Optional[dict]:
+    """kwargs for the ``repro.durable`` entry points when ``--checkpoint``
+    or ``--resume`` was given, else None (the ordinary dispatch runs).
+
+    Durable runs need a real, seekable file: stdin and ``--follow`` tails
+    have no stable offsets to checkpoint against, and the batch engine
+    has no mid-grid cursor to persist — all three are explicit exit-2
+    diagnostics, never a silent non-durable run.
+    """
+    ckpt = getattr(args, "checkpoint", None)
+    resume = getattr(args, "resume", False)
+    if ckpt is None and not resume:
+        return None
+    from ..durable import DEFAULT_CHECKPOINT_INTERVAL
+    if args.data == "-":
+        raise PadsError("--checkpoint/--resume need a seekable file, "
+                        "not stdin")
+    if getattr(args, "follow", None) is not None:
+        raise PadsError("--follow tails an unbounded stream and cannot be "
+                        "checkpointed; drop one of the two")
+    if getattr(args, "engine", "auto") == "batch":
+        raise PadsError("--engine batch has no mid-grid cursor to "
+                        "checkpoint; use --engine auto or cursor")
+    if getattr(args, "header", None):
+        raise PadsError("--header needs a serial prefix parse and cannot "
+                        "be combined with --checkpoint/--resume")
+    interval = ckpt if isinstance(ckpt, int) and ckpt > 0 \
+        else DEFAULT_CHECKPOINT_INTERVAL
+    window = getattr(args, "window", None)
+    opts = {"interval": interval, "resume": resume,
+            "jobs": getattr(args, "jobs", 1)}
+    if window is not None:
+        opts["engine"] = "stream"
+        opts["window"] = window
+    args._engine_used = "durable"
+    return opts
+
+
 def _stream_jobs(args) -> Optional[int]:
     """``--jobs N`` on a stdin stream: the pipelined feeder, or an explicit
     diagnostic (a non-chunkable discipline raises inside the feeder) —
@@ -203,6 +241,21 @@ def cmd_compile(args) -> int:
 def cmd_accum(args) -> int:
     from .accum import Accumulator, accumulate_records
     d = _load(args)
+    durable_opts = _durable_opts(args)
+    if durable_opts is not None:
+        from ..durable import accumulate_durable
+        acc, tally = accumulate_durable(d, args.data, args.record,
+                                        tracked=args.track,
+                                        summaries=args.summaries,
+                                        **durable_opts)
+        header_acc, count = None, tally.records
+        if args.field:
+            target = acc.field(args.field)
+            _emit_text(target.report(args.top))
+        else:
+            _emit_text(acc.full_report(args.top))
+        print(f"\n{count} records", file=sys.stderr)
+        return 0
     engine = _pick_engine(args, d, args.record)
     path = _parallel_file(args)
     stream_jobs = _stream_jobs(args)
@@ -280,6 +333,16 @@ def _emit_text(text: str) -> None:
 def cmd_fmt(args) -> int:
     from .fmt import format_records
     d = _load(args)
+    durable_opts = _durable_opts(args)
+    if durable_opts is not None:
+        from ..durable import records_durable
+        pairs = records_durable(d, args.data, args.record, **durable_opts)
+        _emit_lines(format_records(d, pathlib.Path(args.data), args.record,
+                                   delims=list(args.delims),
+                                   date_format=args.date_format,
+                                   skip_errors=args.skip_errors,
+                                   pairs=pairs))
+        return 0
     engine = _pick_engine(args, d, args.record)
     path = _parallel_file(args)
     stream_jobs = _stream_jobs(args)
@@ -305,6 +368,13 @@ def cmd_fmt(args) -> int:
 def cmd_xml(args) -> int:
     from .xml_out import xml_records
     d = _load(args)
+    durable_opts = _durable_opts(args)
+    if durable_opts is not None:
+        from ..durable import records_durable
+        pairs = records_durable(d, args.data, args.record, **durable_opts)
+        _emit_lines(xml_records(d, pathlib.Path(args.data), args.record,
+                                pairs=pairs))
+        return 0
     engine = _pick_engine(args, d, args.record)
     path = _parallel_file(args)
     stream_jobs = _stream_jobs(args)
@@ -328,6 +398,11 @@ def cmd_xml(args) -> int:
 def cmd_count(args) -> int:
     """The paper's record-counting program (the Figure 10 floor task)."""
     d = _load(args)
+    durable_opts = _durable_opts(args)
+    if durable_opts is not None:
+        from ..durable import count_records_durable
+        print(count_records_durable(d, args.data, **durable_opts))
+        return 0
     engine = _pick_engine(args, d, None)
     path = _parallel_file(args)
     stream_jobs = _stream_jobs(args)
@@ -436,11 +511,42 @@ def cmd_view(args) -> int:
     return 0
 
 
+def cmd_index(args) -> int:
+    """Build (or verify) the persistent record-boundary index."""
+    from .. import durable
+    d = _load(args)
+    if args.data == "-":
+        raise PadsError("index needs a seekable file, not stdin")
+    if args.verify:
+        idx = durable.load_index(args.data, d.discipline,
+                                 index_path=args.output)
+        if idx is None:
+            print(f"padsc: no valid index for {args.data} "
+                  "(missing, corrupt, or stale)", file=sys.stderr)
+            return 1
+        print(f"{args.data}: {idx.records} records, "
+              f"{len(idx.offsets)} sampled boundaries "
+              f"(every {idx.interval}), {idx.size} bytes")
+        return 0
+    idx, target = durable.build_index(
+        d, args.data, interval=args.interval or durable.DEFAULT_INDEX_INTERVAL,
+        out=args.output)
+    print(f"wrote {target} ({idx.records} records, "
+          f"{len(idx.offsets)} sampled boundaries, every {idx.interval})")
+    return 0
+
+
 def cmd_fuzz(args) -> int:
     """Fault-injection sweep: corrupt conforming data, assert the
     never-crash invariants (:mod:`repro.faults`)."""
     from ..faults import fuzz_description, fuzz_gallery
     limits = _limits(args)
+    if getattr(args, "kill_resume", False):
+        from ..faults import kill_resume_gallery
+        report = kill_resume_gallery(n_records=args.count, seed=args.seed,
+                                     only=args.only or None)
+        print(report.summary())
+        return 0 if report.ok else 1
     if args.gallery:
         report = fuzz_gallery(n_records=args.count, seed=args.seed,
                               limits=limits, only=args.only or None)
@@ -540,6 +646,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "byte-identical either way; the resolved "
                             "choice lands in --stats")
 
+    def durable_flags(p):
+        p.add_argument("--checkpoint", nargs="?", const=-1, type=int,
+                       default=None, metavar="INTERVAL",
+                       help="persist an atomic resume checkpoint every "
+                            "INTERVAL records (default 10000) so a killed "
+                            "run can continue with --resume; needs a "
+                            "seekable file input")
+        p.add_argument("--resume", action="store_true",
+                       help="continue from the input's checkpoint if a "
+                            "valid one exists (implies --checkpoint); a "
+                            "missing, corrupt, or stale checkpoint starts "
+                            "over from byte 0 — never a wrong result")
+
     def obs_flags(p):
         p.add_argument("--stats", nargs="?", const="text",
                        choices=["text", "json"], default=None,
@@ -585,6 +704,7 @@ def build_parser() -> argparse.ArgumentParser:
     stream_flags(p)
     engine_flag(p)
     backend_flag(p)
+    durable_flags(p)
     obs_flags(p)
     p.set_defaults(fn=cmd_accum)
 
@@ -598,6 +718,7 @@ def build_parser() -> argparse.ArgumentParser:
     stream_flags(p)
     engine_flag(p)
     backend_flag(p)
+    durable_flags(p)
     obs_flags(p)
     p.set_defaults(fn=cmd_fmt)
 
@@ -608,6 +729,7 @@ def build_parser() -> argparse.ArgumentParser:
     stream_flags(p)
     engine_flag(p)
     backend_flag(p)
+    durable_flags(p)
     obs_flags(p)
     p.set_defaults(fn=cmd_xml)
 
@@ -618,6 +740,7 @@ def build_parser() -> argparse.ArgumentParser:
     stream_flags(p)
     engine_flag(p)
     backend_flag(p)
+    durable_flags(p)
     obs_flags(p)
     p.set_defaults(fn=cmd_count)
 
@@ -665,6 +788,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="0-based record index (default 0)")
     p.set_defaults(fn=cmd_view)
 
+    p = sub.add_parser("index", help="build or verify the persistent "
+                                     "record-boundary index (.padsidx)")
+    common(p)
+    p.add_argument("--interval", type=int, default=None, metavar="N",
+                   help="sample a boundary offset every N records "
+                        "(default 1000)")
+    p.add_argument("-o", "--output", default=None,
+                   help="index file to write/verify (default: "
+                        "<data>.padsidx)")
+    p.add_argument("--verify", action="store_true",
+                   help="validate the existing index against the data "
+                        "file (CRCs, source binding) instead of building")
+    backend_flag(p)
+    obs_flags(p)
+    p.set_defaults(fn=cmd_index)
+
     p = sub.add_parser("fuzz", help="fault-injection sweep: corrupt "
                                     "conforming data, assert never-crash")
     p.add_argument("description", nargs="?",
@@ -687,6 +826,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="conforming records per corrupted source "
                         "(default 12)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--kill-resume", action="store_true",
+                   help="durable-run differential: fork a checkpointed "
+                        "run per gallery description, SIGKILL it at a "
+                        "random progress point, resume, and assert the "
+                        "final report matches an uninterrupted reference")
     p.set_defaults(fn=cmd_fuzz)
 
     p = sub.add_parser("cobol", help="translate a Cobol copybook to PADS")
