@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""Parse-service load test: requests/s and latency percentiles.
+
+Starts an in-process :class:`repro.serve.ServerThread`, registers the
+gallery descriptions once, then drives a mixed-tenant workload over
+real keep-alive HTTP connections from several client threads:
+
+* ``count`` — record-counting floor on a ~16-record CLF payload;
+* ``records`` — full field parse, formatted records echoed back;
+* ``accum`` — statistical profile of the same payload;
+* ``mixed`` — all three interleaved across rotating tenants.
+
+For each scenario the envelope records requests/s plus p50/p99 latency
+(milliseconds).  The run also *asserts* compile-once semantics: however
+many clients and requests, the cache metrics must show exactly one
+compile per distinct description.
+
+Results go to ``BENCH_serve.json``.  Scale with
+``PADS_BENCH_SERVE_REQUESTS`` (per scenario, default 400) and
+``PADS_BENCH_SERVE_CLIENTS`` (default 4; CI smoke uses small values).
+
+Run: ``python benchmarks/bench_serve.py [output.json]``
+"""
+
+import http.client
+import json
+import os
+import statistics
+import sys
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from conftest import machine_line  # noqa: E402
+from repro import gallery  # noqa: E402
+from repro.serve import ServerThread  # noqa: E402
+
+REQUESTS = int(os.environ.get("PADS_BENCH_SERVE_REQUESTS", "400"))
+CLIENTS = int(os.environ.get("PADS_BENCH_SERVE_CLIENTS", "4"))
+TENANTS = ("alpha", "beta", "gamma")
+PAYLOAD = gallery.CLF_SAMPLE * 8  # ~16 records per request
+
+
+def percentile(samples, q):
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[idx]
+
+
+class Client(threading.Thread):
+    """One keep-alive connection issuing requests until the shared
+    budget runs out."""
+
+    def __init__(self, port, budget, lock, make_request):
+        super().__init__(daemon=True)
+        self.port = port
+        self.budget = budget
+        self.lock = lock
+        self.make_request = make_request
+        self.latencies = []
+        self.failures = 0
+
+    def run(self):
+        conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=60)
+        try:
+            n = 0
+            while True:
+                with self.lock:
+                    if self.budget[0] <= 0:
+                        return
+                    self.budget[0] -= 1
+                path, doc, headers = self.make_request(n)
+                n += 1
+                body = json.dumps(doc)
+                t0 = time.perf_counter()
+                conn.request("POST", path, body=body,
+                             headers={"Content-Type": "application/json",
+                                      **headers})
+                resp = conn.getresponse()
+                resp.read()
+                dt = time.perf_counter() - t0
+                if resp.status == 200:
+                    self.latencies.append(dt)
+                else:
+                    self.failures += 1
+        finally:
+            conn.close()
+
+
+def drive(port, make_request, requests=REQUESTS, clients=CLIENTS):
+    budget = [requests]
+    lock = threading.Lock()
+    workers = [Client(port, budget, lock, make_request)
+               for _ in range(clients)]
+    t0 = time.perf_counter()
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    elapsed = time.perf_counter() - t0
+    latencies = [lat for w in workers for lat in w.latencies]
+    failures = sum(w.failures for w in workers)
+    return {
+        "requests": len(latencies),
+        "failures": failures,
+        "seconds": round(elapsed, 3),
+        "requests_per_sec": round(len(latencies) / elapsed, 1),
+        "p50_ms": round(percentile(latencies, 0.50) * 1e3, 3),
+        "p99_ms": round(percentile(latencies, 0.99) * 1e3, 3),
+    }
+
+
+def main() -> int:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_serve.json"
+    results = {"machine": machine_line(), "clients": CLIENTS,
+               "requests_per_scenario": REQUESTS,
+               "payload_bytes": len(PAYLOAD), "scenarios": {}}
+    with ServerThread() as st:
+        port = st.port
+        # register once; all scenario requests go by id (compile-once)
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+        conn.request("POST", "/v1/descriptions",
+                     body=json.dumps({"source": gallery.CLF}),
+                     headers={"Content-Type": "application/json"})
+        clf_id = json.loads(conn.getresponse().read())["id"]
+        conn.close()
+
+        def count_req(_n):
+            return "/v1/parse", {"id": clf_id, "data": PAYLOAD,
+                                 "mode": "count"}, {}
+
+        def records_req(_n):
+            return "/v1/parse", {"id": clf_id, "data": PAYLOAD,
+                                 "mode": "records", "type": "entry_t"}, {}
+
+        def accum_req(_n):
+            return "/v1/parse", {"id": clf_id, "data": PAYLOAD,
+                                 "mode": "accum", "type": "entry_t"}, {}
+
+        def mixed_req(n):
+            path, doc, _ = (count_req, records_req, accum_req)[n % 3](n)
+            return path, doc, {"X-Tenant": TENANTS[n % len(TENANTS)]}
+
+        for name, fn in (("count", count_req), ("records", records_req),
+                         ("accum", accum_req), ("mixed", mixed_req)):
+            stats = drive(port, fn)
+            results["scenarios"][name] = stats
+            print(f"{name:8s} {stats['requests_per_sec']:8.1f} req/s  "
+                  f"p50 {stats['p50_ms']:7.3f} ms  "
+                  f"p99 {stats['p99_ms']:7.3f} ms  "
+                  f"({stats['requests']} ok, {stats['failures']} failed)")
+            if stats["failures"]:
+                print(f"FAIL: {name} had {stats['failures']} failed "
+                      "requests", file=sys.stderr)
+                return 1
+
+        compiles = st.metrics.value("serve.compile")
+        results["cache"] = {
+            "compiles": compiles,
+            "hits": st.metrics.value("serve.cache.hits"),
+            "misses": st.metrics.value("serve.cache.misses"),
+        }
+        results["records_total"] = st.metrics.value("records.total")
+        # compile-once: one registration, thousands of requests, one
+        # compile.  A second compile means the cache key or the
+        # single-flight gate regressed.
+        if compiles != 1:
+            print(f"FAIL: expected exactly 1 compile, saw {compiles}",
+                  file=sys.stderr)
+            return 1
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

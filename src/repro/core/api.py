@@ -15,7 +15,10 @@ verification and random data generation.
 
 from __future__ import annotations
 
+import hashlib
 import random
+import threading
+from collections import OrderedDict
 from time import perf_counter
 from typing import Iterator, Optional, Tuple, Union
 
@@ -344,3 +347,159 @@ def compile_description(text: str, *, ambient: str = "ascii",
 def compile_file(path: str, **kwargs):
     with open(path, "r", encoding="utf-8") as handle:
         return compile_description(handle.read(), filename=path, **kwargs)
+
+
+# -- compiled-description cache -------------------------------------------------
+#
+# Long-running processes (the parse service, notebooks, repeated CLI
+# invocations through the library) compile the same description over and
+# over.  Compilation is pure in everything the cache key covers, so a
+# content-hash-keyed cache gives compile-once semantics.
+#
+# The key MUST cover every compile input that changes the produced
+# artifact — not just the source text.  Hashing only the source is a
+# cross-tenant poisoning bug: two tenants sending identical source with
+# different backends (interpreted vs generated), ambients, record
+# disciplines or fastpath settings would share one compiled module, and
+# whichever compiled first would silently serve the other tenant's
+# requests with the wrong engine.  ``ParseLimits`` are deliberately NOT
+# part of the key: limits are per-*source* state (attached when a cursor
+# opens), so the same compiled description serves every budget.
+
+
+def discipline_key(discipline) -> tuple:
+    """A stable identity tuple for a record discipline.
+
+    Covers the discipline class plus every constructor parameter any
+    shipped discipline has; shared by the description cache and the
+    parallel engine's worker :class:`~repro.parallel.DescSpec`.
+    """
+    d = discipline
+    if d is None:
+        return ("NewlineRecords", None, None, None, None)
+    return (type(d).__name__, getattr(d, "width", None),
+            getattr(d, "prefix", None), getattr(d, "byteorder", None),
+            getattr(d, "inclusive", None))
+
+
+def description_cache_key(text: str, *, ambient: str = "ascii",
+                          discipline=None, backend: Optional[str] = None,
+                          fastpath: bool = True) -> str:
+    """Content hash over every plan-relevant compile input.
+
+    ``backend=None`` (the interpreted engine) and each codegen backend
+    hash differently; so do ambient codings, record disciplines and the
+    fastpath/reference-mode switch.
+    """
+    parts = (text, ambient, str(backend), str(bool(fastpath)),
+             repr(discipline_key(discipline)))
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part.encode("utf-8", "surrogateescape"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+class DescriptionCache:
+    """A bounded, thread-safe, content-hash-keyed compile cache.
+
+    Lookup and insertion are guarded by a lock so concurrent server
+    request handlers (thread-pool executors) can share one cache;
+    compilation itself runs outside the lock.  Racing first requests
+    for the same key are *single-flighted*: one thread compiles, the
+    rest wait on its gate and then take the cache hit — so a cold
+    popular description costs exactly one compile no matter how many
+    clients stampede it (and the compile-once metric stays exact).
+    """
+
+    def __init__(self, maxsize: int = 128):
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[str, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, threading.Event] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "entries": len(self._entries)}
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def get(self, key: str):
+        """The cached description for ``key``, or None (counts a hit)."""
+        with self._lock:
+            desc = self._entries.get(key)
+            if desc is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+            return desc
+
+    def get_or_compile(self, text: str, *, ambient: str = "ascii",
+                       discipline=None, backend: Optional[str] = None,
+                       fastpath: bool = True, check: bool = True,
+                       filename: str = "<description>"):
+        """``(description, key, hit)`` for the given compile inputs.
+
+        The returned description carries no :class:`ParseLimits`; attach
+        budgets per-source (``Source.from_bytes(..., limits=...)``) so
+        one cached artifact serves every tenant.
+        """
+        key = description_cache_key(text, ambient=ambient,
+                                    discipline=discipline, backend=backend,
+                                    fastpath=fastpath)
+        while True:
+            with self._lock:
+                desc = self._entries.get(key)
+                if desc is not None:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    return desc, key, True
+                gate = self._inflight.get(key)
+                if gate is None:
+                    gate = self._inflight[key] = threading.Event()
+                    break  # this thread is the compiling leader
+            # Single-flight: another thread is compiling this key; wait
+            # for its gate, then re-check (hit on success, or become the
+            # new leader if it failed).
+            gate.wait()
+        try:
+            desc = compile_description(text, ambient=ambient,
+                                       discipline=discipline,
+                                       filename=filename, check=check,
+                                       fastpath=fastpath, backend=backend)
+        except BaseException:
+            with self._lock:
+                self._inflight.pop(key, None)
+            gate.set()  # wake waiters; one of them retries as leader
+            raise
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = desc
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+            self._inflight.pop(key, None)
+        gate.set()
+        return desc, key, False
+
+
+#: The process-wide cache behind :func:`compile_cached`.  Servers build
+#: their own instance so per-server cache metrics stay isolated.
+DESCRIPTION_CACHE = DescriptionCache()
+
+
+def compile_cached(text: str, **kwargs):
+    """:func:`compile_description` through the process-wide
+    :data:`DESCRIPTION_CACHE` (compile-once semantics)."""
+    desc, _key, _hit = DESCRIPTION_CACHE.get_or_compile(text, **kwargs)
+    return desc

@@ -256,6 +256,33 @@ class NoRecords(RecordDiscipline):
         return pos, src._end(), src._end()
 
 
+def discipline_from_spec(spec: str) -> RecordDiscipline:
+    """Build a record discipline from its CLI/wire spelling.
+
+    ``newline``, ``none``, ``fixed:<width>``, ``lenprefix:<bytes>`` —
+    the spellings ``padsc --records`` and the parse service's
+    ``records`` request field share.  Every malformed spec (unknown
+    kind, non-numeric or out-of-range parameter) raises
+    :class:`PadsError` so callers get a one-line diagnostic, never a
+    traceback.
+    """
+    from .errors import PadsError
+    kind = spec.strip()
+    try:
+        if kind == "newline":
+            return NewlineRecords()
+        if kind == "none":
+            return NoRecords()
+        if kind.startswith("fixed:"):
+            return FixedWidthRecords(int(kind.split(":", 1)[1]))
+        if kind.startswith("lenprefix:"):
+            return LengthPrefixedRecords(int(kind.split(":", 1)[1]))
+    except ValueError as exc:
+        raise PadsError(f"bad record discipline {spec!r}: {exc}") from None
+    raise PadsError(f"unknown record discipline {spec!r} "
+                    "(use newline, none, fixed:<n>, lenprefix:<n>)")
+
+
 class Source:
     """A buffered cursor over a byte source with record scoping.
 

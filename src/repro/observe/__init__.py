@@ -56,12 +56,13 @@ from .metrics import (
     MetricsRegistry,
     SIZE_BUCKETS,
 )
+from .exposition import to_prometheus
 from .trace import TraceEvent, Tracer
 
 __all__ = [
     "CURRENT", "ParseObserver", "observed", "current_tracer", "count",
     "MetricsRegistry", "Counter", "Gauge", "Histogram", "Tracer",
-    "TraceEvent", "LATENCY_BUCKETS", "SIZE_BUCKETS",
+    "TraceEvent", "LATENCY_BUCKETS", "SIZE_BUCKETS", "to_prometheus",
 ]
 
 #: The process-global observer, or None when observability is disabled.

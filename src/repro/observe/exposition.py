@@ -1,0 +1,93 @@
+"""Prometheus text exposition of a :class:`MetricsRegistry`.
+
+The serving stack's scrape endpoint (``GET /metrics`` on
+:mod:`repro.serve`) renders the server-lifetime registry in the
+Prometheus text format (version 0.0.4): one ``# TYPE`` header per metric
+family, counters suffixed ``_total``, histograms expanded to cumulative
+``_bucket{le=...}`` series plus ``_sum``/``_count``.
+
+Registry metrics are identified by a dotted name plus an ordered label
+tuple; the exposition maps dots to underscores and positional labels to
+``l1``..``ln``::
+
+    ("errors.by_code", ("MISSING_LITERAL",))
+        -> pads_errors_by_code_total{l1="MISSING_LITERAL"} 3
+
+The rendering is deterministic (sorted by metric key), so scrapes of a
+quiescent server are byte-identical — the property the serve tests pin.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .metrics import MetricsRegistry
+
+__all__ = ["to_prometheus"]
+
+_NAME_OK = set("abcdefghijklmnopqrstuvwxyz"
+               "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:")
+
+
+def _metric_name(name: str, namespace: str) -> str:
+    flat = "".join(ch if ch in _NAME_OK else "_" for ch in name)
+    if flat and flat[0].isdigit():
+        flat = "_" + flat
+    return f"{namespace}_{flat}" if namespace else flat
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _labels(labels, extra: Optional[str] = None) -> str:
+    parts = [f'l{i + 1}="{_escape_label(str(v))}"'
+             for i, v in enumerate(labels)]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "+Inf"
+        return repr(value)
+    return str(value)
+
+
+def to_prometheus(registry: MetricsRegistry, namespace: str = "pads") -> str:
+    """Render ``registry`` in the Prometheus text exposition format.
+
+    Counters gain the conventional ``_total`` suffix; histogram bucket
+    counts are cumulative (each ``le`` bucket includes everything below
+    it) ending in ``le="+Inf"`` equal to ``_count``.
+    """
+    lines = []
+    seen_types = set()
+    for (name, labels), metric in sorted(registry.items(),
+                                         key=lambda kv: kv[0]):
+        kind = metric.kind
+        base = _metric_name(name, namespace)
+        if kind == "counter" and not base.endswith("_total"):
+            base += "_total"
+        if base not in seen_types:
+            seen_types.add(base)
+            lines.append(f"# TYPE {base} {kind}")
+        if kind == "counter":
+            lines.append(f"{base}{_labels(labels)} {_fmt(metric.value)}")
+        elif kind == "gauge":
+            lines.append(f"{base}{_labels(labels)} {_fmt(metric.value)}")
+        else:  # histogram: cumulative buckets, then sum and count
+            running = 0
+            for bound, count in zip(metric.bounds, metric.counts):
+                running += count
+                le = 'le="%s"' % _fmt(bound)
+                lines.append(f"{base}_bucket{_labels(labels, le)} {running}")
+            running += metric.counts[-1]
+            le = 'le="+Inf"'
+            lines.append(f"{base}_bucket{_labels(labels, le)} {running}")
+            lines.append(f"{base}_sum{_labels(labels)} {_fmt(metric.sum)}")
+            lines.append(f"{base}_count{_labels(labels)} {metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import io as _stdio
 import os
+import threading
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FutTimeout
 from dataclasses import dataclass, replace
@@ -92,13 +93,16 @@ class DescSpec:
     #: Codegen backend for the generated engine ('auto'/'source'/'ast'),
     #: so workers rebuild with the same specialization as the parent.
     backend: str = "auto"
+    #: Whether the plan-compiled record fast functions are enabled.  Part
+    #: of ``key()``: a parent running in reference mode (``fastpath=False``)
+    #: must not share a worker-cache slot with a fastpath parent — same
+    #: source, different compiled artifact (the cache-keying bug family).
+    fastpath: bool = True
 
     def key(self) -> tuple:
-        d = self.discipline
+        from .core.api import discipline_key
         return (self.text, self.ambient, self.engine, self.backend,
-                type(d).__name__,
-                getattr(d, "width", None), getattr(d, "prefix", None),
-                getattr(d, "byteorder", None), getattr(d, "inclusive", None))
+                self.fastpath) + discipline_key(self.discipline)
 
 
 def _spec_for(description) -> Optional[DescSpec]:
@@ -114,7 +118,9 @@ def _spec_for(description) -> Optional[DescSpec]:
     ambient = getattr(description, "ambient", None)
     if text is None or ambient is None:
         return None
-    return DescSpec(text, ambient, "interp", description.discipline, limits)
+    fastpath = getattr(getattr(description, "bound", None), "fastpath", True)
+    return DescSpec(text, ambient, "interp", description.discipline, limits,
+                    fastpath=fastpath)
 
 
 #: Per-process cache of compiled descriptions.  The parent seeds it with
@@ -131,32 +137,45 @@ def _materialise(spec: DescSpec):
             from .codegen import compile_generated
             desc = compile_generated(spec.text, ambient=spec.ambient,
                                      discipline=spec.discipline, check=False,
-                                     backend=spec.backend)
+                                     backend=spec.backend,
+                                     fastpath=spec.fastpath)
         else:
             from .core.api import compile_description
             desc = compile_description(spec.text, ambient=spec.ambient,
-                                       discipline=spec.discipline, check=False)
+                                       discipline=spec.discipline, check=False,
+                                       fastpath=spec.fastpath)
         _COMPILED[key] = desc
     return desc
 
 
 # -- worker pool ---------------------------------------------------------------
+#
+# Pools persist across calls keyed by their size, so a long-running
+# process (the parse service) pays pool start-up once and every
+# subsequent request reuses the warm workers.  Creation, discard and
+# shutdown are lock-guarded: concurrent server requests arriving on
+# executor threads must not race a half-built pool or double-discard a
+# broken one.  ``ProcessPoolExecutor.submit`` itself is thread-safe, so
+# the lock covers only the registry, not the mapping.
 
 _POOLS: Dict[int, ProcessPoolExecutor] = {}
+_POOLS_LOCK = threading.Lock()
 
 
 def _pool(jobs: int) -> ProcessPoolExecutor:
-    pool = _POOLS.get(jobs)
-    if pool is None:
-        pool = ProcessPoolExecutor(max_workers=jobs)
-        _POOLS[jobs] = pool
-    return pool
+    with _POOLS_LOCK:
+        pool = _POOLS.get(jobs)
+        if pool is None:
+            pool = ProcessPoolExecutor(max_workers=jobs)
+            _POOLS[jobs] = pool
+        return pool
 
 
 def _discard_pool(jobs: int) -> None:
     """Drop a broken pool without waiting on its (possibly dead or
     wedged) workers; the next ``_pool(jobs)`` call builds a fresh one."""
-    pool = _POOLS.pop(jobs, None)
+    with _POOLS_LOCK:
+        pool = _POOLS.pop(jobs, None)
     if pool is not None:
         pool.shutdown(wait=False, cancel_futures=True)
 
@@ -164,9 +183,11 @@ def _discard_pool(jobs: int) -> None:
 def shutdown() -> None:
     """Shut down any worker pools this module created (optional; pools
     are also reaped at interpreter exit)."""
-    for pool in _POOLS.values():
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
         pool.shutdown(wait=True, cancel_futures=True)
-    _POOLS.clear()
 
 
 # -- self-healing execution ----------------------------------------------------

@@ -26,22 +26,15 @@ from typing import Optional
 from .. import observe
 from ..core.api import compile_file
 from ..core.errors import DescriptionError, PadsError
-from ..core.io import FixedWidthRecords, LengthPrefixedRecords, NewlineRecords, NoRecords
+from ..core.io import discipline_from_spec
 from ..core.limits import ParseLimits
 
 
 def _discipline(args):
-    kind = getattr(args, "records", "newline")
-    if kind == "newline":
-        return NewlineRecords()
-    if kind == "none":
-        return NoRecords()
-    if kind.startswith("fixed:"):
-        return FixedWidthRecords(int(kind.split(":", 1)[1]))
-    if kind.startswith("lenprefix:"):
-        return LengthPrefixedRecords(int(kind.split(":", 1)[1]))
-    raise PadsError(f"unknown record discipline {kind!r} "
-                    "(use newline, none, fixed:<n>, lenprefix:<n>)")
+    # The shared spec parser raises PadsError (one-line exit-2
+    # diagnostic) on malformed specs like fixed:abc or fixed:0 — the
+    # raw int() here used to escape as a ValueError traceback.
+    return discipline_from_spec(getattr(args, "records", "newline"))
 
 
 def _limits(args) -> Optional[ParseLimits]:
@@ -118,6 +111,13 @@ def _pick_engine(args, d, record_type: Optional[str]) -> str:
                             "and cannot be combined with --jobs")
         args._engine_used = "cursor"
         return "cursor"
+    if choice == "batch" and getattr(args, "jobs", 1) > 1:
+        # Without this, --jobs wins the dispatch and the forced batch
+        # engine was silently ignored — every invalid combination must
+        # be a diagnostic, never a silent different run.
+        raise PadsError("--engine batch runs the in-process columnar "
+                        "kernels and cannot be combined with --jobs; "
+                        "drop one of the two")
     from ..batch import _runtime_gate, batch_verdict
     from ..core.io import FixedWidthRecords, NewlineRecords
     if record_type is None:
@@ -564,6 +564,35 @@ def cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args) -> int:
+    """Run the multi-tenant parse service (:mod:`repro.serve`)."""
+    from ..serve import ServeConfig, run_server
+    if not 0 <= args.port <= 65535:
+        raise PadsError(f"--port {args.port} is out of range 0..65535")
+    if args.cache_size < 1:
+        raise PadsError("--cache must be at least 1")
+    if args.workers < 1:
+        raise PadsError("--workers must be at least 1")
+    if args.max_body < 1:
+        raise PadsError("--max-body must be at least 1 byte")
+    if args.parallel_threshold < 0:
+        raise PadsError("--parallel-threshold cannot be negative")
+    tenant_limits = {}
+    for spec in args.tenant_limits or []:
+        name, sep, budget = spec.partition(":")
+        if not sep or not name or not budget:
+            raise PadsError("--tenant-limits wants NAME:SPEC "
+                            f"(e.g. gold:deadline=5,errors=10), got {spec!r}")
+        tenant_limits[name] = ParseLimits.parse(budget)
+    config = ServeConfig(
+        host=args.host, port=args.port, jobs=args.jobs,
+        cache_size=args.cache_size, max_body=args.max_body,
+        parallel_threshold=args.parallel_threshold, workers=args.workers,
+        default_limits=ParseLimits.parse(args.limits) if args.limits else None,
+        tenant_limits=tenant_limits)
+    return run_server(config)
+
+
 def cmd_cobol(args) -> int:
     from .cobol import translate
     with open(args.copybook, "r", encoding="utf-8") as handle:
@@ -833,6 +862,37 @@ def build_parser() -> argparse.ArgumentParser:
                         "final report matches an uninterrupted reference")
     p.set_defaults(fn=cmd_fuzz)
 
+    p = sub.add_parser("serve", help="run the multi-tenant parse service "
+                                     "(POST descriptions + data over HTTP)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8712,
+                   help="listen port (default 8712; 0 picks an ephemeral "
+                        "port and prints it)")
+    p.add_argument("--limits", metavar="SPEC",
+                   help="default per-request resource budget "
+                        "(key=value,... as elsewhere) for tenants without "
+                        "an explicit one")
+    p.add_argument("--tenant-limits", action="append", metavar="NAME:SPEC",
+                   help="per-tenant budget, repeatable (the X-Tenant "
+                        "request header selects it), e.g. "
+                        "free:deadline=1,errors=10")
+    p.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                   help="worker processes for the parallel engine on "
+                        "large payloads (default 1: in-process engines "
+                        "only)")
+    p.add_argument("--cache", type=int, default=128, dest="cache_size",
+                   metavar="N", help="compiled-description cache slots "
+                                     "(default 128)")
+    p.add_argument("--workers", type=int, default=8, metavar="N",
+                   help="parse worker threads (default 8)")
+    p.add_argument("--max-body", type=int, default=64 << 20, metavar="BYTES",
+                   help="largest accepted request body (default 64 MiB)")
+    p.add_argument("--parallel-threshold", type=int, default=1 << 20,
+                   metavar="BYTES",
+                   help="payload size at which accum/count requests fan "
+                        "out to the worker pool (default 1 MiB)")
+    p.set_defaults(fn=cmd_serve)
+
     p = sub.add_parser("cobol", help="translate a Cobol copybook to PADS")
     p.add_argument("copybook")
     p.add_argument("-o", "--output")
@@ -841,10 +901,24 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _validate_flags(args) -> None:
+    """Cross-cutting flag sanity shared by every subcommand that carries
+    the flag: out-of-range values exit 2 with one diagnostic line instead
+    of tracebacking inside an engine (or silently running serially)."""
+    jobs = getattr(args, "jobs", None)
+    if jobs is not None and jobs < 1:
+        raise PadsError(f"--jobs {jobs} makes no sense; use N >= 1")
+    window = getattr(args, "window", None)
+    if window is not None and window < 1:
+        raise PadsError(f"--window {window} makes no sense; use a positive "
+                        "byte count")
+
+
 def _run(args) -> int:
     """Dispatch a subcommand, wrapped in an observation session when
     ``--stats``/``--trace`` were given.  Stats and trace streams go to
     stderr by default so stdout stays clean for data pipes."""
+    _validate_flags(args)
     stats = getattr(args, "stats", None)
     trace = getattr(args, "trace", None)
     if stats is None and trace is None:

@@ -322,3 +322,78 @@ class TestObservabilityFlags:
                      "--stats"]) == 2
         assert main(["query", "/nonexistent.pads", str(data), "/a",
                      "--stats=json"]) == 2
+
+
+class TestFlagConflictMatrix:
+    """The audited flag-conflict matrix: every invalid combination is
+    one diagnostic line on stderr and exit code 2 — never a traceback,
+    never a silently different run.  Before the audit, several of these
+    tracebacked (``--records fixed:abc``) or silently ignored a flag
+    (``--engine batch --jobs 2`` ran the parallel pool)."""
+
+    CASES = [
+        # malformed record-discipline specs used to escape as ValueError
+        (["--records", "fixed:abc"], "bad record discipline"),
+        (["--records", "fixed:0"], "bad record discipline"),
+        (["--records", "lenprefix:xyz"], "bad record discipline"),
+        (["--records", "martian"], "unknown record discipline"),
+        # nonsense numeric flags
+        (["--jobs", "0"], "--jobs 0"),
+        (["--jobs", "-3"], "--jobs -3"),
+        (["--window", "0"], "--window 0"),
+        (["--window", "-1"], "--window -1"),
+        # engine pinning vs. process fan-out
+        (["--engine", "cursor", "--jobs", "2"], "--engine cursor"),
+        (["--engine", "batch", "--jobs", "2"], "--engine batch"),
+        # unbounded tails cannot fan out or checkpoint
+        (["--follow", "--jobs", "2"], "--follow"),
+        (["--checkpoint", "--follow"], "cannot be checkpointed"),
+        (["--checkpoint", "--engine", "batch"], "no mid-grid cursor"),
+        # budgets with malformed specs
+        (["--limits", "nope=1"], "bad --limits entry"),
+        (["--limits", "deadline=soon"], "bad --limits value"),
+    ]
+
+    @pytest.mark.parametrize("extra,needle", CASES,
+                             ids=[" ".join(c[0]) for c in CASES])
+    def test_invalid_combo_exits_2(self, clf_file, clf_data, capsys,
+                                   extra, needle):
+        rc = main(["count", clf_file, clf_data] + extra)
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "Traceback" not in captured.err
+        assert needle in captured.err
+        diag = [ln for ln in captured.err.splitlines() if ln.strip()]
+        assert len(diag) == 1 and diag[0].startswith("padsc: ")
+
+    def test_checkpoint_on_stdin_is_an_error(self, clf_file, capsys,
+                                             monkeypatch):
+        import io
+        monkeypatch.setattr(sys, "stdin", io.TextIOWrapper(io.BytesIO(b"")))
+        rc = main(["count", clf_file, "-", "--checkpoint"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "seekable file" in captured.err
+        assert "Traceback" not in captured.err
+
+    SERVE_CASES = [
+        (["--port", "99999"], "out of range"),
+        (["--port", "-1"], "out of range"),
+        (["--jobs", "0"], "--jobs 0"),
+        (["--cache", "0"], "--cache"),
+        (["--workers", "0"], "--workers"),
+        (["--max-body", "0"], "--max-body"),
+        (["--parallel-threshold", "-1"], "--parallel-threshold"),
+        (["--limits", "nope=1"], "bad --limits entry"),
+        (["--tenant-limits", "noseparator"], "--tenant-limits wants"),
+        (["--tenant-limits", "gold:bogus=1"], "bad --limits entry"),
+    ]
+
+    @pytest.mark.parametrize("extra,needle", SERVE_CASES,
+                             ids=[" ".join(c[0]) for c in SERVE_CASES])
+    def test_serve_flag_validation(self, capsys, extra, needle):
+        rc = main(["serve"] + extra)
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "Traceback" not in captured.err
+        assert needle in captured.err
